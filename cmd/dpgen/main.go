@@ -1,0 +1,77 @@
+// Command dpgen generates the synthetic datasets of the reproduction to
+// disk as JSON (the dataio format), for inspection or for use outside the
+// harness.
+//
+// Usage:
+//
+//	dpgen -out ./datasets [-scale 0.15] [-seed 1] [-which downstream|upstream|all]
+//	dpgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+	"repro/internal/tasks"
+)
+
+func main() {
+	out := flag.String("out", "./datasets", "output directory")
+	scale := flag.Float64("scale", 0.15, "dataset scale relative to paper sizes (0,1]")
+	seed := flag.Int64("seed", 1, "random seed")
+	which := flag.String("which", "all", "downstream, upstream, or all")
+	list := flag.Bool("list", false, "list dataset keys and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("downstream:")
+		for _, k := range datagen.DownstreamKeys() {
+			fmt.Println("  " + k)
+		}
+		fmt.Println("upstream:")
+		for _, k := range datagen.UpstreamKeys() {
+			fmt.Println("  " + k)
+		}
+		return
+	}
+
+	var bundles []*datagen.Bundle
+	if *which == "downstream" || *which == "all" {
+		bundles = append(bundles, datagen.Downstream(*seed, *scale)...)
+	}
+	if *which == "upstream" || *which == "all" {
+		bundles = append(bundles, datagen.Upstream(*seed, *scale)...)
+	}
+	if len(bundles) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown -which %q\n", *which)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, b := range bundles {
+		path := filepath.Join(*out, strings.ReplaceAll(b.Key(), "/", "_")+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = dataio.EncodeJSON(b.DS, tasks.RenderKnowledgeText(b.Seed), f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (train=%d test=%d)\n", path, len(b.DS.Train), len(b.DS.Test))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/lora"
+	"repro/internal/model"
+	"repro/internal/skc"
+)
+
+// The build subcommand trains the upstream DP-LLM and extracts the SKC
+// patch library once, persisting both to disk so later transfers (or other
+// tools) can reuse them without retraining:
+//
+//	knowtrans build -artifacts ./artifacts [-scale 0.15] [-seed 1]
+//
+// Artifacts layout: upstream-7B.gob (model snapshot) plus one
+// patch-<task>-<dataset>.gob per upstream dataset.
+func runBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dir := fs.String("artifacts", "./artifacts", "output directory")
+	scale := fs.Float64("scale", 0.15, "dataset scale")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	z := eval.NewZoo(*seed, *scale)
+	fmt.Println("training upstream DP-LLM (base pretraining + multi-task SFT)...")
+	up := z.Upstream(eval.Size7B)
+	blob, err := up.Export().Encode()
+	if err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(*dir, "upstream-7B.gob")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d KiB)\n", path, len(blob)/1024)
+
+	fmt.Println("extracting knowledge patches...")
+	for _, ns := range z.Patches(eval.Size7B) {
+		blob, err := ns.Snap.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		name := "patch-" + strings.ReplaceAll(ns.Name, "/", "-") + ".gob"
+		p := filepath.Join(*dir, name)
+		if err := os.WriteFile(p, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d KiB)\n", p, len(blob)/1024)
+	}
+}
+
+// loadArtifacts restores an upstream model and patch library written by
+// runBuild. Returns (nil, nil, nil) when the directory has no artifacts.
+func loadArtifacts(dir string) (*model.Model, []*skc.NamedSnapshot, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "upstream-7B.gob"))
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := model.DecodeSnapshot(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := model.New(snap.Cfg)
+	if err := m.LoadSnapshot(snap); err != nil {
+		return nil, nil, err
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "patch-*.gob"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var snaps []*skc.NamedSnapshot
+	for _, p := range matches {
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := lora.DecodeSnapshot(blob)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", p, err)
+		}
+		snaps = append(snaps, &skc.NamedSnapshot{Name: s.Name, Snap: s})
+	}
+	return m, snaps, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "knowtrans:", err)
+	os.Exit(1)
+}

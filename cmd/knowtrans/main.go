@@ -1,0 +1,139 @@
+// Command knowtrans is the experiment driver of the KnowTrans
+// reproduction. It can run any paper experiment by id, train the upstream
+// artifacts, or transfer the model to a single dataset and print the
+// searched knowledge.
+//
+// Usage:
+//
+//	knowtrans experiment <id> [-scale 0.15] [-reps 3] [-seed 1]
+//	knowtrans experiment all
+//	knowtrans list
+//	knowtrans transfer -dataset EM/Walmart-Amazon [-scale 0.15] [-seed 1]
+//
+// Experiment ids: table1 table2 table3 table4 table5 table6 table7 fig4
+// fig5 fig6 fig7 (see DESIGN.md for the mapping to the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/lora"
+	"repro/internal/oracle"
+	"repro/internal/tasks"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range eval.FullRegistry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "experiment":
+		runExperiment(os.Args[2:])
+	case "build":
+		runBuild(os.Args[2:])
+	case "transfer":
+		runTransfer(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  knowtrans list
+  knowtrans experiment <id|all> [-scale S] [-reps N] [-seed K]
+  knowtrans build [-artifacts DIR] [-scale S] [-seed K]
+  knowtrans transfer -dataset <task/name> [-artifacts DIR] [-scale S] [-seed K]`)
+}
+
+func runExperiment(args []string) {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.15, "dataset scale relative to paper sizes (0,1]")
+	reps := fs.Int("reps", 1, "repetitions to average over (paper: 3)")
+	seed := fs.Int64("seed", 1, "master random seed")
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	id := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		os.Exit(2)
+	}
+	z := eval.NewZoo(*seed, *scale)
+	run := func(e eval.Experiment) {
+		start := time.Now()
+		t := e.Run(z, *reps)
+		fmt.Println(t.Render())
+		fmt.Printf("(%s in %.1fs, scale=%.2f, reps=%d, seed=%d)\n\n", e.ID, time.Since(start).Seconds(), *scale, *reps, *seed)
+	}
+	if id == "all" {
+		for _, e := range eval.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := eval.ExperimentByID(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try `knowtrans list`\n", id)
+		os.Exit(2)
+	}
+	run(e)
+}
+
+func runTransfer(args []string) {
+	fs := flag.NewFlagSet("transfer", flag.ExitOnError)
+	dataset := fs.String("dataset", "EM/Walmart-Amazon", "downstream dataset key (task/name)")
+	artifacts := fs.String("artifacts", "", "artifact directory written by `knowtrans build` (optional)")
+	scale := fs.Float64("scale", 0.15, "dataset scale")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	z := eval.NewZoo(*seed, *scale)
+	b := z.DownstreamByKey(*dataset)
+	fewshot := b.DS.FewShot(rand.New(rand.NewSource(*seed)), eval.FewShotN)
+
+	fmt.Printf("Transferring Jellyfish-7B to %s with %d labeled examples...\n", *dataset, len(fewshot))
+	jelly := z.Method(eval.MethodJellyfish).Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: *seed})
+	jellyScore := baselines.Evaluate(jelly, b.Kind, b.DS.Test)
+
+	var pred baselines.Predictor
+	if *artifacts != "" {
+		upstream, snaps, err := loadArtifacts(*artifacts)
+		if err != nil {
+			fatal(err)
+		}
+		if upstream == nil {
+			fatal(fmt.Errorf("no artifacts in %s; run `knowtrans build` first", *artifacts))
+		}
+		fmt.Printf("loaded upstream model + %d patches from %s\n", len(snaps), *artifacts)
+		kt := core.NewKnowTrans(upstream, snaps, oracle.New(*seed))
+		ad, err := kt.Transfer(b.Kind, fewshot, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		pred = ad
+	} else {
+		kt := z.KnowTransMethod(eval.Size7B, true, true, lora.StrategyAdaptive)
+		pred = kt.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: *seed})
+	}
+	ktScore := baselines.Evaluate(pred, b.Kind, b.DS.Test)
+
+	fmt.Printf("\n%-24s %6.2f\n%-24s %6.2f\n", "Jellyfish-7B (few-shot):", jellyScore, "KnowTrans-7B:", ktScore)
+	if kc, ok := pred.(interface{ SearchedKnowledge() *tasks.Knowledge }); ok && kc.SearchedKnowledge() != nil {
+		fmt.Printf("\nSearched knowledge:\n%s\n", tasks.RenderKnowledgeText(kc.SearchedKnowledge()))
+	}
+}

@@ -1,0 +1,288 @@
+// Package akb implements Automatic Knowledge Bridging (Section VI,
+// Algorithm 2): the inference-time component of KnowTrans. It frames the
+// search for dataset-informed knowledge as prompt optimization (Eq. 6):
+//
+//	ρ* = argmax_ρ E[(x,y)] S(ρ, x, y)
+//
+// realized as a four-step loop — Generation (Eq. 7), Evaluation with the
+// task metric (Eq. 8), error Feedback (Eq. 9), and Refinement over the full
+// knowledge trajectory (Eq. 11) — driven by a closed-source-LLM Oracle.
+package akb
+
+import (
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/tasks"
+)
+
+// Predictor is the fine-tuned DP-LLM 𝓜' that evaluation queries
+// (internal/model.Model satisfies it through the Adapter below, keeping akb
+// decoupled from the substrate).
+type Predictor interface {
+	// PredictWith returns the model's answer for an instance under the
+	// given knowledge.
+	PredictWith(spec tasks.Spec, in *data.Instance, k *tasks.Knowledge) string
+}
+
+// ErrorCase is one validation failure: the instance plus the model's wrong
+// answer, the raw material of the Feedback step.
+type ErrorCase struct {
+	Instance  *data.Instance
+	Predicted string
+}
+
+// GenerateRequest asks the oracle for an initial candidate pool (Eq. 7).
+type GenerateRequest struct {
+	Kind     tasks.Kind
+	Seed     *tasks.Knowledge
+	Examples []*data.Instance
+	PoolSize int
+}
+
+// FeedbackRequest asks the oracle to analyze error cases (Eq. 9).
+type FeedbackRequest struct {
+	Kind      tasks.Kind
+	Knowledge *tasks.Knowledge
+	Errors    []ErrorCase
+}
+
+// RefineRequest asks the oracle for refined knowledge (Eq. 10/11).
+type RefineRequest struct {
+	Kind       tasks.Kind
+	Knowledge  *tasks.Knowledge
+	Errors     []ErrorCase
+	Feedback   string
+	Trajectory []*tasks.Knowledge
+}
+
+// Oracle is the closed-source LLM 𝓜_gpt. The repository ships a simulated
+// rule-induction oracle (internal/oracle); an implementation backed by a
+// real API satisfies the same interface.
+type Oracle interface {
+	Generate(req GenerateRequest) []*tasks.Knowledge
+	Feedback(req FeedbackRequest) string
+	Refine(req RefineRequest) []*tasks.Knowledge
+}
+
+// Config mirrors the paper's Section VII-A AKB defaults: 10 examples for
+// generation, 3 iterations, refinement driven by sampled error subsets of 4.
+type Config struct {
+	Iterations      int
+	GenExamples     int
+	PoolSize        int
+	RefinePerIter   int
+	ErrorsPerSubset int
+	Seed            int64
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Iterations:      3,
+		GenExamples:     10,
+		PoolSize:        4,
+		RefinePerIter:   2,
+		ErrorsPerSubset: 4,
+		Seed:            seed,
+	}
+}
+
+// Step records one iteration for the round-count analysis of Fig. 7.
+type Step struct {
+	Iter      int
+	EvalScore float64
+	TestScore float64 // -1 when no probe set was supplied
+	PoolSize  int
+}
+
+// Result is the outcome of the search.
+type Result struct {
+	Best      *tasks.Knowledge
+	BestScore float64
+	Steps     []Step
+	Feedbacks []string
+}
+
+// Search runs Algorithm 2. valid is the validation split (the paper reuses
+// the few-shot set D'_i); probe, when non-nil, is an extra held-out set
+// scored each iteration purely for reporting (Fig. 7's test curves) — it
+// never influences the search.
+func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instance, probe []*data.Instance, cfg Config) *Result {
+	if cfg.Iterations == 0 {
+		cfg = DefaultConfig(cfg.Seed)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	spec := tasks.SpecFor(kind)
+
+	// Line 1: sample demonstrations X_demos ⊂ D_valid.
+	demos := sampleInstances(rng, valid, cfg.GenExamples)
+
+	// Line 2: initial candidate pool via Eq. 7. The empty knowledge is
+	// always a candidate so the search can conclude "no knowledge helps"
+	// (the AVE behaviour in Fig. 7b).
+	pool := []*tasks.Knowledge{nil}
+	pool = append(pool, oracle.Generate(GenerateRequest{
+		Kind:     kind,
+		Examples: demos,
+		PoolSize: cfg.PoolSize,
+	})...)
+
+	scores := map[*tasks.Knowledge]float64{}
+	scoreOf := func(k *tasks.Knowledge) float64 {
+		if s, ok := scores[k]; ok {
+			return s
+		}
+		s := Evaluate(pred, spec, valid, k)
+		scores[k] = s
+		return s
+	}
+	// better reports whether candidate a should replace incumbent b. The
+	// validation metric decides; exact ties break toward the more
+	// informative knowledge. Few-shot fine-tuned models often score 100 on
+	// the 20-example validation set (they trained on it, as in the paper's
+	// protocol), and a tie at the top then certifies that the richer
+	// knowledge is consistent with every labeled example — the deterministic
+	// analogue of preferring the knowledge a human would keep.
+	better := func(a, b *tasks.Knowledge) bool {
+		sa, sb := scoreOf(a), scoreOf(b)
+		if sa != sb {
+			return sa > sb
+		}
+		return informativeness(a) > informativeness(b)
+	}
+
+	res := &Result{}
+	for t := 0; t < cfg.Iterations; t++ {
+		// Line 5: select the best candidate under the task metric (Eq. 8).
+		best := pool[0]
+		for _, k := range pool[1:] {
+			if better(k, best) {
+				best = k
+			}
+		}
+		step := Step{Iter: t, EvalScore: scoreOf(best), TestScore: -1, PoolSize: len(pool)}
+		if probe != nil {
+			step.TestScore = Evaluate(pred, spec, probe, best)
+		}
+		res.Steps = append(res.Steps, step)
+		res.Best, res.BestScore = best, scoreOf(best)
+
+		if t == cfg.Iterations-1 {
+			break
+		}
+		// Line 6: error set E under the current best knowledge.
+		errs := Errors(pred, spec, valid, best)
+		if len(errs) == 0 {
+			// Converged: nothing left to learn from.
+			break
+		}
+		// Lines 7–11: feedback + refinement over sampled error subsets,
+		// carrying the full trajectory (Eq. 11).
+		trajectory := append([]*tasks.Knowledge(nil), pool...)
+		for j := 0; j < cfg.RefinePerIter; j++ {
+			subset := sampleErrors(rng, errs, cfg.ErrorsPerSubset)
+			fb := oracle.Feedback(FeedbackRequest{Kind: kind, Knowledge: best, Errors: subset})
+			res.Feedbacks = append(res.Feedbacks, fb)
+			refined := oracle.Refine(RefineRequest{
+				Kind:       kind,
+				Knowledge:  best,
+				Errors:     subset,
+				Feedback:   fb,
+				Trajectory: trajectory,
+			})
+			pool = append(pool, refined...)
+		}
+	}
+	// Final selection over the full pool (the loop may have added
+	// candidates after the last scoring pass).
+	for _, k := range pool {
+		if better(k, res.Best) {
+			res.Best, res.BestScore = k, scoreOf(k)
+		}
+	}
+	return res
+}
+
+// informativeness ranks knowledge candidates for tie-breaking: total rule
+// confidence plus a small credit per serialization directive.
+func informativeness(k *tasks.Knowledge) float64 {
+	if k == nil {
+		return 0
+	}
+	var t float64
+	for _, r := range k.Rules {
+		t += r.Weight
+	}
+	return t + 0.5*float64(len(k.Serial))
+}
+
+// Evaluate scores the predictor on instances under knowledge k with the
+// task metric (Eq. 8).
+func Evaluate(pred Predictor, spec tasks.Spec, ins []*data.Instance, k *tasks.Knowledge) float64 {
+	metric := tasks.NewMetric(spec.Metric)
+	for _, in := range ins {
+		metric.Add(pred.PredictWith(spec, in, k), in.GoldText())
+	}
+	return metric.Score()
+}
+
+// Errors returns the error cases of the predictor on instances under k
+// (Algorithm 2 line 6).
+func Errors(pred Predictor, spec tasks.Spec, ins []*data.Instance, k *tasks.Knowledge) []ErrorCase {
+	var out []ErrorCase
+	for _, in := range ins {
+		got := pred.PredictWith(spec, in, k)
+		if !equalAnswer(got, in.GoldText()) {
+			out = append(out, ErrorCase{Instance: in, Predicted: got})
+		}
+	}
+	return out
+}
+
+func equalAnswer(a, b string) bool {
+	return normAnswer(a) == normAnswer(b)
+}
+
+func normAnswer(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		out = append(out, r)
+	}
+	// Trim spaces.
+	start, end := 0, len(out)
+	for start < end && out[start] == ' ' {
+		start++
+	}
+	for end > start && out[end-1] == ' ' {
+		end--
+	}
+	return string(out[start:end])
+}
+
+func sampleInstances(rng *rand.Rand, ins []*data.Instance, n int) []*data.Instance {
+	if n >= len(ins) {
+		return append([]*data.Instance(nil), ins...)
+	}
+	idx := rng.Perm(len(ins))[:n]
+	out := make([]*data.Instance, 0, n)
+	for _, i := range idx {
+		out = append(out, ins[i])
+	}
+	return out
+}
+
+func sampleErrors(rng *rand.Rand, errs []ErrorCase, n int) []ErrorCase {
+	if n >= len(errs) {
+		return append([]ErrorCase(nil), errs...)
+	}
+	idx := rng.Perm(len(errs))[:n]
+	out := make([]ErrorCase, 0, n)
+	for _, i := range idx {
+		out = append(out, errs[i])
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+// Package baselines implements every comparison method of the paper's
+// Section VII-A: the non-LLM per-task methods (Raha-, IPM-, SMAT-, Ditto-,
+// Doduo-, MAVE-, Baran-style), the open-source DP-LLM tiers (Mistral,
+// TableLLaMA, MELD, Jellyfish, Jellyfish-ICL), and the closed-source GPT
+// tiers used with in-context learning. Each method adapts to a downstream
+// dataset from the same few-shot budget KnowTrans gets.
+package baselines
+
+import (
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/model"
+	"repro/internal/tasks"
+)
+
+// Predictor answers instances of one downstream dataset.
+type Predictor interface {
+	Predict(in *data.Instance) string
+}
+
+// AdaptContext is everything a method may use to adapt: the dataset bundle
+// (for its task kind and seed knowledge — never its test labels), the
+// few-shot labeled sample, and a seed.
+type AdaptContext struct {
+	Bundle  *datagen.Bundle
+	FewShot []*data.Instance
+	Seed    int64
+}
+
+// Method is one comparison system.
+type Method interface {
+	Name() string
+	Adapt(ctx *AdaptContext) Predictor
+}
+
+// Evaluate runs a predictor over a test set with the task's metric.
+func Evaluate(p Predictor, kind tasks.Kind, test []*data.Instance) float64 {
+	spec := tasks.SpecFor(kind)
+	metric := tasks.NewMetric(spec.Metric)
+	for _, in := range test {
+		metric.Add(p.Predict(in), in.GoldText())
+	}
+	return metric.Score()
+}
+
+// modelPredictor wraps a DP-LM (optionally with fixed knowledge) as a
+// Predictor.
+type modelPredictor struct {
+	m    *model.Model
+	spec tasks.Spec
+	k    *tasks.Knowledge
+}
+
+func (p *modelPredictor) Predict(in *data.Instance) string {
+	return p.m.PredictWith(p.spec, in, p.k)
+}
+
+// FineTuned is the standard "fine-tune the whole model on the few-shot
+// data" method applied to any backbone: the paper's Mistral, TableLLaMA and
+// Jellyfish rows all follow this protocol.
+type FineTuned struct {
+	MethodName string
+	// Backbone returns a fresh clone of the backbone to fine-tune.
+	Backbone func() *model.Model
+	Train    model.TrainConfig
+}
+
+// Name implements Method.
+func (f *FineTuned) Name() string { return f.MethodName }
+
+// Adapt implements Method: full fine-tuning of the clone on the few-shot
+// examples.
+func (f *FineTuned) Adapt(ctx *AdaptContext) Predictor {
+	m := f.Backbone()
+	tc := f.Train
+	if tc.Epochs == 0 {
+		tc = model.DefaultTrain(ctx.Seed)
+		tc.Epochs = 6
+		tc.LR = 0.01
+		tc.WeightDecay = 3e-4
+		tc.BatchSize = 4
+	}
+	tc.Seed = ctx.Seed
+	ps := m.Params()
+	model.Train(m, model.ExamplesFrom(ctx.Bundle.Kind, ctx.FewShot, nil), tc, &ps)
+	return &modelPredictor{m: m, spec: ctx.Bundle.Spec()}
+}

@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/model"
+	"repro/internal/skc"
+	"repro/internal/tasks"
+)
+
+func smallBundle(key string) *datagen.Bundle { return datagen.ByKey(key, 3, 0.05) }
+
+func ctxFor(b *datagen.Bundle, seed int64) *AdaptContext {
+	return &AdaptContext{
+		Bundle:  b,
+		FewShot: b.DS.FewShot(rand.New(rand.NewSource(seed)), 20),
+		Seed:    seed,
+	}
+}
+
+func tinyBackbone() func() *model.Model {
+	return func() *model.Model {
+		return model.New(model.Config{Name: "t", Dim: 1 << 10, Hidden: 16, Seed: 5})
+	}
+}
+
+func TestNonLLMAdaptAllTasks(t *testing.T) {
+	m := NonLLM{}
+	for _, key := range []string{
+		"ED/Beer", "DC/Beer", "EM/Abt-Buy", "SM/CMS", "DI/Phone", "CTA/SOTAB", "AVE/AE-110k",
+	} {
+		b := smallBundle(key)
+		pred := m.Adapt(ctxFor(b, 1))
+		score := Evaluate(pred, b.Kind, b.DS.Test)
+		if score < 0 || score > 100 {
+			t.Fatalf("%s: score %v out of range", key, score)
+		}
+		// Every prediction must be a legal answer for its instance.
+		for _, in := range b.DS.Test[:10] {
+			got := pred.Predict(in)
+			legal := false
+			for _, c := range in.Candidates {
+				if strings.EqualFold(c, got) {
+					legal = true
+				}
+			}
+			if !legal {
+				t.Fatalf("%s: prediction %q not among candidates %v", key, got, in.Candidates)
+			}
+		}
+	}
+}
+
+func TestProfileDetectorFlagsMissing(t *testing.T) {
+	b := smallBundle("ED/Beer")
+	pred := NonLLM{}.Adapt(ctxFor(b, 2))
+	in := &data.Instance{
+		Fields:     []data.Field{{Name: "ibu", Value: "nan"}},
+		Target:     "ibu",
+		Candidates: []string{tasks.AnswerYes, tasks.AnswerNo},
+	}
+	if got := pred.Predict(in); got != tasks.AnswerYes {
+		t.Fatalf("missing value should be flagged, got %q", got)
+	}
+}
+
+func TestFineTunedLearnsFewShot(t *testing.T) {
+	b := smallBundle("EM/Walmart-Amazon")
+	ft := &FineTuned{MethodName: "test", Backbone: tinyBackbone()}
+	pred := ft.Adapt(ctxFor(b, 3))
+	score := Evaluate(pred, b.Kind, b.DS.Test)
+	// A fresh tiny model fine-tuned on 20 pairs should clear chance level
+	// on this highly separable task.
+	if score < 30 {
+		t.Fatalf("fine-tuned score suspiciously low: %v", score)
+	}
+}
+
+func TestICLNoGradientUpdates(t *testing.T) {
+	b := smallBundle("EM/Walmart-Amazon")
+	backbone := tinyBackbone()()
+	before := backbone.Export()
+	icl := &ICL{MethodName: "icl", Backbone: func() *model.Model { return backbone }, K: 5}
+	pred := icl.Adapt(ctxFor(b, 4))
+	_ = Evaluate(pred, b.Kind, b.DS.Test[:20])
+	after := backbone.Export()
+	for name, w := range before.Mats {
+		for i := range w {
+			if after.Mats[name][i] != w[i] {
+				t.Fatal("ICL must not update weights")
+			}
+		}
+	}
+}
+
+func TestICLPromptTokensLargerThanBare(t *testing.T) {
+	b := smallBundle("EM/Walmart-Amazon")
+	icl := &ICL{MethodName: "icl", Backbone: tinyBackbone(), K: 10}
+	pred := icl.Adapt(ctxFor(b, 5)).(*iclPredictor)
+	in := b.DS.Test[0]
+	inputTokens, outputTokens := pred.PromptTokens(in)
+	ex := tasks.BuildExample(tasks.SpecFor(b.Kind), in, nil)
+	bare := len(strings.Fields(ex.Prompt))
+	if inputTokens <= bare {
+		t.Fatalf("ICL prompt (%d tokens) must exceed the bare prompt (%d): demonstrations are in-context", inputTokens, bare)
+	}
+	if outputTokens <= 0 {
+		t.Fatalf("output tokens = %d", outputTokens)
+	}
+}
+
+func TestMELDRoutesAndPredicts(t *testing.T) {
+	base := tinyBackbone()()
+	up := datagen.Upstream(3, 0.03)[:3]
+	var sources []skc.Source
+	var cents []Centroid
+	for _, b := range up {
+		sources = append(sources, skc.Source{Name: b.Key(), Examples: model.ExamplesFrom(b.Kind, b.DS.Train, nil)})
+		cents = append(cents, CentroidOf(base, b.Key(), b.DS.Train))
+	}
+	snaps := skc.ExtractPatches(base, sources, skc.Options{Seed: 6})
+	m := &MELD{
+		Backbone:  func() *model.Model { return base.Clone() },
+		Snaps:     snaps,
+		Centroids: cents,
+		TopK:      2,
+	}
+	b := smallBundle("EM/Walmart-Amazon")
+	pred := m.Adapt(ctxFor(b, 7))
+	score := Evaluate(pred, b.Kind, b.DS.Test)
+	if score < 0 || score > 100 {
+		t.Fatalf("meld score %v", score)
+	}
+	// The gate must route: after a prediction at most TopK experts active.
+	mp := pred.(*meldPredictor)
+	mp.Predict(b.DS.Test[0])
+	active := 0
+	for _, e := range mp.experts {
+		if e.coef.Val > 0 {
+			active++
+		}
+	}
+	if active == 0 || active > 2 {
+		t.Fatalf("gate routed %d experts, want 1..2", active)
+	}
+}
+
+func TestEvaluateUsesTaskMetric(t *testing.T) {
+	b := smallBundle("DI/Phone")
+	pred := constPredictor{tasks.AnswerNA}
+	score := Evaluate(pred, b.Kind, b.DS.Test)
+	if score != 0 {
+		t.Fatalf("always-n/a imputer should score 0 accuracy, got %v", score)
+	}
+}
+
+func TestKNNImputerMemorizes(t *testing.T) {
+	b := smallBundle("DI/Phone")
+	few := b.DS.FewShot(rand.New(rand.NewSource(8)), 20)
+	pred := newKNNImputer(few)
+	// On its own training instances the 1-NN imputer must be near-perfect.
+	correct := 0
+	for _, in := range few {
+		if strings.EqualFold(pred.Predict(in), in.GoldText()) {
+			correct++
+		}
+	}
+	if correct < len(few)*9/10 {
+		t.Fatalf("kNN should memorize its training set: %d/%d", correct, len(few))
+	}
+}

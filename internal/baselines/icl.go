@@ -1,0 +1,173 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/tasks"
+	"repro/internal/tensor"
+	"repro/internal/text"
+)
+
+// ICL adapts a frozen backbone with in-context learning: the k most similar
+// few-shot demonstrations are serialized into the prompt, and their labels
+// vote on the candidates with similarity weights — the retrieval-augmented
+// realization of demonstration conditioning in a bag-of-features substrate.
+// This is the protocol behind Jellyfish-ICL and the GPT tiers.
+type ICL struct {
+	MethodName string
+	Backbone   func() *model.Model
+	K          int
+	// VoteWeight scales the neighbor-vote score bonus. Wider models rely on
+	// demonstrations more effectively; the zoo sets this per tier.
+	VoteWeight float64
+}
+
+// Name implements Method.
+func (c *ICL) Name() string { return c.MethodName }
+
+// Adapt implements Method. No gradient updates happen: the model is used
+// frozen, exactly like an API model.
+func (c *ICL) Adapt(ctx *AdaptContext) Predictor {
+	m := c.Backbone()
+	k := c.K
+	if k == 0 {
+		k = 10
+	}
+	p := &iclPredictor{
+		m:      m,
+		spec:   ctx.Bundle.Spec(),
+		k:      k,
+		weight: c.VoteWeight,
+	}
+	if p.weight == 0 {
+		p.weight = 0.5
+	}
+	for _, in := range ctx.FewShot {
+		p.demos = append(p.demos, demo{
+			in:  in,
+			vec: demoVec(m, in),
+			ans: in.GoldText(),
+		})
+	}
+	return p
+}
+
+type demo struct {
+	in  *data.Instance
+	vec *tensor.Sparse
+	ans string
+}
+
+type iclPredictor struct {
+	m      *model.Model
+	spec   tasks.Spec
+	k      int
+	weight float64
+	demos  []demo
+}
+
+// demoVec hashes an instance's record content for retrieval.
+func demoVec(m *model.Model, in *data.Instance) *tensor.Sparse {
+	segs := make([]text.Segment, 0, len(in.Fields))
+	for _, f := range in.Fields {
+		segs = append(segs, text.Segment{Field: f.Name, Text: f.Value, Weight: 1})
+	}
+	return m.Hasher.Encode(segs...)
+}
+
+// Predict builds the demonstration-augmented prompt and combines model
+// scores with similarity-weighted neighbor votes.
+func (p *iclPredictor) Predict(in *data.Instance) string {
+	q := demoVec(p.m, in)
+	type scored struct {
+		d   demo
+		sim float64
+	}
+	neighbors := make([]scored, 0, len(p.demos))
+	for _, d := range p.demos {
+		neighbors = append(neighbors, scored{d, q.Dot(d.vec)})
+	}
+	sort.SliceStable(neighbors, func(i, j int) bool { return neighbors[i].sim > neighbors[j].sim })
+	if len(neighbors) > p.k {
+		neighbors = neighbors[:p.k]
+	}
+
+	ex := tasks.BuildExample(p.spec, in, nil)
+	// Serialize demonstrations into the prompt. They are hashed into an
+	// isolated namespace at low weight: in a transformer the demonstrations
+	// occupy context without overwriting the query representation, and the
+	// bag encoder must not let ten demo records drown the actual record.
+	for _, n := range neighbors {
+		ex.Segments = append(ex.Segments, text.Segment{
+			Field:    "demo",
+			Text:     data.RenderRecord(n.d.in.Fields) + " -> " + n.d.ans,
+			Weight:   0.04,
+			Isolated: true,
+		})
+		ex.Prompt += "\nExample: " + data.RenderRecord(n.d.in.Fields) + " -> " + n.d.ans
+	}
+	scores := p.m.Scores(ex).Clone()
+	// ... and vote on candidates.
+	for _, n := range neighbors {
+		if n.sim <= 0 {
+			continue
+		}
+		for i, c := range ex.Candidates {
+			if equalFold(c, n.d.ans) {
+				scores[i] += p.weight * n.sim
+			}
+		}
+	}
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	return ex.Candidates[best]
+}
+
+// PromptTokens reports the token count of one demonstration-augmented
+// prompt, used by the Table III cost analysis.
+func (p *iclPredictor) PromptTokens(in *data.Instance) (input, output int) {
+	q := demoVec(p.m, in)
+	type scored struct {
+		d   demo
+		sim float64
+	}
+	neighbors := make([]scored, 0, len(p.demos))
+	for _, d := range p.demos {
+		neighbors = append(neighbors, scored{d, q.Dot(d.vec)})
+	}
+	sort.SliceStable(neighbors, func(i, j int) bool { return neighbors[i].sim > neighbors[j].sim })
+	if len(neighbors) > p.k {
+		neighbors = neighbors[:p.k]
+	}
+	ex := tasks.BuildExample(p.spec, in, nil)
+	prompt := ex.Prompt
+	for _, n := range neighbors {
+		prompt += "\nExample: " + data.RenderRecord(n.d.in.Fields) + " -> " + n.d.ans
+	}
+	return text.CountTokens(prompt), text.CountTokens(p.Predict(in))
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+// Package core is the public face of the reproduction: the KnowTrans
+// framework of Section IV, wiring Selective Knowledge Concentration
+// (internal/skc, training time) and Automatic Knowledge Bridging
+// (internal/akb, inference time) into a single few-shot transfer pipeline.
+//
+// Typical use:
+//
+//	kt := &core.KnowTrans{
+//		Upstream: upstreamModel,          // e.g. the Jellyfish-7B analogue
+//		Patches:  patchLibrary,           // extracted once from upstream data
+//		Oracle:   oracle.New(seed),       // the simulated GPT-4o
+//	}
+//	ad, err := kt.Transfer(tasks.EM, fewshot, seed)
+//	...
+//	answer := ad.Predict(instance)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/akb"
+	"repro/internal/data"
+	"repro/internal/lora"
+	"repro/internal/model"
+	"repro/internal/skc"
+	"repro/internal/tasks"
+)
+
+// KnowTrans configures the framework. UseSKC/UseAKB are the ablation
+// switches of Table V; both default to on via NewKnowTrans.
+type KnowTrans struct {
+	Upstream *model.Model
+	Patches  []*skc.NamedSnapshot
+	Oracle   akb.Oracle
+
+	SKC skc.Options
+	AKB akb.Config
+
+	UseSKC bool
+	UseAKB bool
+
+	// PlainFT is the fine-tuning recipe used instead of SKC when UseSKC is
+	// false (the "w/o SKC" ablation fine-tunes the whole upstream model on
+	// the few-shot data, like the Jellyfish baseline).
+	PlainFT model.TrainConfig
+}
+
+// NewKnowTrans returns a fully enabled framework with paper defaults.
+func NewKnowTrans(upstream *model.Model, patches []*skc.NamedSnapshot, o akb.Oracle) *KnowTrans {
+	return &KnowTrans{
+		Upstream: upstream,
+		Patches:  patches,
+		Oracle:   o,
+		UseSKC:   true,
+		UseAKB:   true,
+	}
+}
+
+// Adapted is a model transferred to one downstream dataset: the fine-tuned
+// model, the fusion module (when SKC ran), and the searched knowledge (when
+// AKB ran).
+type Adapted struct {
+	Kind      tasks.Kind
+	Model     *model.Model
+	Fusion    *lora.Fusion
+	Knowledge *tasks.Knowledge
+	AKBResult *akb.Result
+}
+
+// Predict answers one instance with the searched knowledge in the prompt.
+// It satisfies the experiment harness's Predictor interface.
+func (a *Adapted) Predict(in *data.Instance) string {
+	return a.Model.PredictWith(tasks.SpecFor(a.Kind), in, a.Knowledge)
+}
+
+// SearchedKnowledge returns the knowledge AKB selected (nil when AKB was
+// disabled or concluded that no knowledge helps).
+func (a *Adapted) SearchedKnowledge() *tasks.Knowledge { return a.Knowledge }
+
+// Evaluate scores the adapted model on a test set with the task metric.
+func (a *Adapted) Evaluate(test []*data.Instance) float64 {
+	return akb.Evaluate(a.Model, tasks.SpecFor(a.Kind), test, a.Knowledge)
+}
+
+// Transfer adapts the upstream DP-LLM to a novel dataset/task from the
+// few-shot sample, per Fig. 2: SKC first (training time), then AKB
+// (inference time) searching knowledge with the fine-tuned model in the
+// loop.
+func (kt *KnowTrans) Transfer(kind tasks.Kind, fewshot []*data.Instance, seed int64) (*Adapted, error) {
+	if len(fewshot) == 0 {
+		return nil, fmt.Errorf("core: transfer needs few-shot data")
+	}
+	ad := &Adapted{Kind: kind}
+	examples := model.ExamplesFrom(kind, fewshot, nil)
+
+	if kt.UseSKC {
+		opts := kt.SKC
+		opts.Seed = seed
+		tr, err := skc.Transfer(kt.Upstream, kt.Patches, examples, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: SKC transfer: %w", err)
+		}
+		ad.Model, ad.Fusion = tr.Model, tr.Fusion
+	} else {
+		m := kt.Upstream.Clone()
+		tc := kt.PlainFT
+		if tc.Epochs == 0 {
+			tc = model.DefaultTrain(seed)
+			tc.Epochs = 6
+			tc.LR = 0.01
+			tc.WeightDecay = 3e-4
+			tc.BatchSize = 4
+		}
+		tc.Seed = seed
+		ps := m.Params()
+		model.Train(m, examples, tc, &ps)
+		ad.Model = m
+	}
+
+	if kt.UseAKB {
+		if kt.Oracle == nil {
+			return nil, fmt.Errorf("core: AKB enabled but no oracle configured")
+		}
+		cfg := kt.AKB
+		if cfg.Iterations == 0 {
+			cfg = akb.DefaultConfig(seed)
+		}
+		cfg.Seed = seed
+		res := akb.Search(ad.Model, kt.Oracle, kind, fewshot, nil, cfg)
+		ad.Knowledge, ad.AKBResult = res.Best, res
+	}
+	return ad, nil
+}

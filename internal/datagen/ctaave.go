@@ -1,0 +1,275 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/tasks"
+)
+
+// SOTAB column types, following the schema.org-derived label space the
+// paper's CTA knowledge (Table VIII) describes.
+var sotabTypes = []string{
+	"country", "eventStatus", "eventAttendanceMode", "description",
+	"addressLocality", "coordinate", "priceRange", "telephone", "email",
+	"date", "organization", "personName", "streetAddress", "postalCode",
+	"currency",
+}
+
+// sotabValue generates one cell value of the given semantic type.
+func sotabValue(rng *rand.Rand, typ string) string {
+	switch typ {
+	case "country":
+		codes := []string{"BE", "FR", "DE", "IT", "NL", "ES", "US", "GB", "JP", "BR"}
+		c := pick(rng, codes)
+		return c + " " + c // repeated codes, the planted pattern
+	case "eventStatus":
+		return "https://schema.org/Event" + pick(rng, []string{"Scheduled", "Cancelled", "Postponed", "Rescheduled"})
+	case "eventAttendanceMode":
+		return "https://schema.org/" + pick(rng, []string{"Offline", "Online", "Mixed"}) + "EventAttendanceMode"
+	case "description":
+		return fmt.Sprintf("Join us for an evening of %s and %s at the annual %s gathering downtown.",
+			pick(rng, []string{"music", "food", "art", "film"}),
+			pick(rng, []string{"conversation", "dancing", "tastings", "workshops"}),
+			pick(rng, []string{"harvest", "winter", "spring", "summer"}))
+	case "addressLocality":
+		c := pick(rng, cities)
+		if maybe(rng, 0.3) {
+			return c + " and " + pick(rng, cities)
+		}
+		return c
+	case "coordinate":
+		return fmt.Sprintf("%.4f, %.4f", -90+rng.Float64()*180, -180+rng.Float64()*360)
+	case "priceRange":
+		return strings.Repeat("$", 1+rng.Intn(4))
+	case "telephone":
+		return phoneNumber(rng, fmt.Sprintf("%03d", 200+rng.Intn(700)))
+	case "email":
+		return strings.ToLower(pick(rng, firstNames)) + "." + strings.ToLower(pick(rng, lastNames)) + "@example.com"
+	case "date":
+		return isoDateStr(rng)
+	case "organization":
+		return pick(rng, breweries)
+	case "personName":
+		return personName(rng, 0)
+	case "streetAddress":
+		return fmt.Sprintf("%d %s %s", 10+rng.Intn(990), pick(rng, lastNames), pick(rng, []string{"St", "Ave", "Blvd", "Rd"}))
+	case "postalCode":
+		return fmt.Sprintf("%05d", 10000+rng.Intn(89999))
+	case "currency":
+		return pick(rng, []string{"USD", "EUR", "GBP", "JPY", "CHF"})
+	default:
+		panic("datagen: unknown SOTAB type " + typ)
+	}
+}
+
+// genSOTABCTA (downstream, novel task): classify a column given five sample
+// values into one of the schema.org-style types.
+func genSOTABCTA(rng *rand.Rand, train, test int) *Bundle {
+	ds := &data.Dataset{Name: "SOTAB", Task: string(tasks.CTA)}
+	for i := 0; i < train+test; i++ {
+		typ := pick(rng, sotabTypes)
+		var fields []data.Field
+		for j := 0; j < 5; j++ {
+			fields = append(fields, data.Field{Name: "sample", Value: sotabValue(rng, typ)})
+		}
+		gold := -1
+		for k, t := range sotabTypes {
+			if t == typ {
+				gold = k
+			}
+		}
+		in := &data.Instance{
+			ID:         fmt.Sprintf("SOTAB-%d", i),
+			Fields:     fields,
+			Candidates: append([]string(nil), sotabTypes...),
+			Gold:       gold,
+		}
+		if i < train {
+			ds.Train = append(ds.Train, in)
+		} else {
+			ds.Test = append(ds.Test, in)
+		}
+	}
+	return &Bundle{DS: ds, Kind: tasks.CTA, Seed: &tasks.Knowledge{
+		Text: "Assign the semantic type that best describes the sampled column values.",
+	}}
+}
+
+// aveAttrs lists the target attributes of the AE-110k-style dataset with a
+// generator of (title containing the value, value) or absence.
+var aveElectronicsAttrs = []string{"Brand", "Color", "Capacity", "Sport Type", "Feature", "Gender"}
+
+// aveSpanCandidates enumerates extraction candidates: every unigram and
+// bigram of the title plus n/a — the ranking realization of span extraction.
+func aveSpanCandidates(title string, maxCands int) []string {
+	words := strings.Fields(title)
+	seen := map[string]bool{}
+	var cands []string
+	add := func(s string) {
+		ls := strings.ToLower(s)
+		if s == "" || seen[ls] || len(cands) >= maxCands {
+			return
+		}
+		seen[ls] = true
+		cands = append(cands, s)
+	}
+	for _, w := range words {
+		add(strings.Trim(w, ".,"))
+	}
+	for i := 0; i+1 < len(words); i++ {
+		add(strings.Trim(words[i], ".,") + " " + strings.Trim(words[i+1], ".,"))
+	}
+	add(tasks.AnswerNA)
+	return cands
+}
+
+func aveInstance(id, title, attr, gold string) *data.Instance {
+	cands := aveSpanCandidates(title, 24)
+	// Ensure n/a is present even if the candidate cap hit first.
+	hasNA := false
+	for _, c := range cands {
+		if c == tasks.AnswerNA {
+			hasNA = true
+		}
+	}
+	if !hasNA {
+		cands = append(cands, tasks.AnswerNA)
+	}
+	goldIdx := -1
+	for i, c := range cands {
+		if strings.EqualFold(c, gold) {
+			goldIdx = i
+		}
+	}
+	if goldIdx < 0 {
+		cands = append(cands, gold)
+		goldIdx = len(cands) - 1
+	}
+	return &data.Instance{
+		ID:         id,
+		Fields:     []data.Field{{Name: "title", Value: title}},
+		Target:     attr,
+		Candidates: cands,
+		Gold:       goldIdx,
+		Meta:       map[string]string{"attribute": attr},
+	}
+}
+
+// genAE110kAVE (downstream, novel task): extract attribute values from
+// electronics/apparel product titles.
+func genAE110kAVE(rng *rand.Rand, train, test int) *Bundle {
+	ds := &data.Dataset{Name: "AE-110k", Task: string(tasks.AVE)}
+	for i := 0; i < train+test; i++ {
+		attr := pick(rng, aveElectronicsAttrs)
+		brand := pick(rng, brands)
+		color := pick(rng, colors)
+		capacity := pick(rng, capacities)
+		sport := pick(rng, sportTypes)
+		feature := pick(rng, features)
+		gender := pick(rng, genders)
+		noun := pick(rng, apparelNouns)
+
+		// Build the title from a subset of attributes; whether the target
+		// attribute is present decides between a span gold and n/a.
+		parts := []string{brand}
+		present := map[string]string{"Brand": brand}
+		if maybe(rng, 0.75) {
+			parts = append(parts, gender+"'s")
+			present["Gender"] = gender
+		}
+		if maybe(rng, 0.7) {
+			parts = append(parts, sport)
+			present["Sport Type"] = sport
+		}
+		if maybe(rng, 0.7) {
+			parts = append(parts, feature)
+			present["Feature"] = feature
+		}
+		parts = append(parts, noun)
+		if maybe(rng, 0.6) {
+			parts = append(parts, color)
+			present["Color"] = color
+		}
+		if maybe(rng, 0.35) {
+			parts = append(parts, capacity)
+			present["Capacity"] = capacity
+		}
+		title := strings.Join(parts, " ")
+		gold, ok := present[attr]
+		if !ok {
+			gold = tasks.AnswerNA
+		}
+		// Gender appears as "Men's" in the title but the expected label is
+		// "Men" (the case/format rule of the AE knowledge).
+		in := aveInstance(fmt.Sprintf("AE-%d", i), title, attr, gold)
+		if i < train {
+			ds.Train = append(ds.Train, in)
+		} else {
+			ds.Test = append(ds.Test, in)
+		}
+	}
+	return &Bundle{DS: ds, Kind: tasks.AVE, Seed: &tasks.Knowledge{
+		Text: "Extract the requested attribute value from the product title; answer n/a when absent.",
+	}}
+}
+
+var oaAttrs = []string{"Flavor", "Scent", "Brand", "Size", "Roast"}
+
+// genOAMineAVE (downstream): grocery/personal-care titles. The planted OA
+// rule: descriptive terms (flavors, scents) take precedence over brand
+// names when both could answer.
+func genOAMineAVE(rng *rand.Rand, train, test int) *Bundle {
+	ds := &data.Dataset{Name: "OA-mine", Task: string(tasks.AVE)}
+	roasts := []string{"dark roast", "medium roast", "light roast"}
+	sizes := []string{"12 oz", "16 oz", "32 oz", "6 pack", "500 ml"}
+	for i := 0; i < train+test; i++ {
+		attr := pick(rng, oaAttrs)
+		brand := pick(rng, brands)
+		flavor := pick(rng, flavors)
+		scent := pick(rng, scents)
+		noun := pick(rng, groceryNouns)
+		roast := pick(rng, roasts)
+		size := pick(rng, sizes)
+
+		parts := []string{brand}
+		present := map[string]string{"Brand": brand}
+		isCoffee := noun == "coffee"
+		if maybe(rng, 0.65) {
+			parts = append(parts, flavor)
+			present["Flavor"] = flavor
+		}
+		if !isCoffee && maybe(rng, 0.4) {
+			parts = append(parts, scent)
+			present["Scent"] = scent
+		}
+		if isCoffee && maybe(rng, 0.6) {
+			parts = append(parts, roast)
+			present["Roast"] = roast
+		}
+		if maybe(rng, 0.3) {
+			parts = append(parts, "decaf")
+		}
+		parts = append(parts, noun)
+		if maybe(rng, 0.55) {
+			parts = append(parts, size)
+			present["Size"] = size
+		}
+		title := strings.Join(parts, " ")
+		gold, ok := present[attr]
+		if !ok {
+			gold = tasks.AnswerNA
+		}
+		in := aveInstance(fmt.Sprintf("OA-%d", i), title, attr, gold)
+		if i < train {
+			ds.Train = append(ds.Train, in)
+		} else {
+			ds.Test = append(ds.Test, in)
+		}
+	}
+	return &Bundle{DS: ds, Kind: tasks.AVE, Seed: &tasks.Knowledge{
+		Text: "Extract the requested attribute from the grocery product title; answer n/a when absent.",
+	}}
+}

@@ -1,0 +1,292 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/tasks"
+)
+
+// LabeledExample is one pretraining example: an instance with the task it
+// belongs to and the knowledge (if any) active in its prompt.
+type LabeledExample struct {
+	Kind      tasks.Kind
+	Instance  *data.Instance
+	Knowledge *tasks.Knowledge
+}
+
+// GeneralCorpus synthesizes the broad "pre-training" mixture that stands in
+// for web-scale pretraining + generic instruction tuning (see DESIGN.md):
+//
+//   - generic entity matching across domains (alignment priors),
+//   - instruction/rule-following examples where only the stated rule
+//     identifies the answer (teaches the trust head that stated knowledge
+//     is worth following — the analog of instruction tuning),
+//   - generic span extraction over attribute vocabularies,
+//   - generic value-type classification (CTA world knowledge),
+//
+// and, only when rich is set (the GPT tiers, whose instruction tuning is
+// far broader than a raw 7B base model's):
+//
+//   - generic error-spotting (missing values and typos are suspicious),
+//   - generic value correction (zero-shot repair priors).
+//
+// The mixture deliberately contains none of the downstream datasets' quirky
+// format rules; those remain dataset-informed gaps for AKB to close.
+func GeneralCorpus(seed int64, n int, rich bool) []LabeledExample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []LabeledExample
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		if rich {
+			switch {
+			case r < 0.28:
+				out = append(out, genericMatch(rng, i))
+			case r < 0.52:
+				out = append(out, ruleFollowing(rng, i))
+			case r < 0.64:
+				out = append(out, genericErrorSpot(rng, i))
+			case r < 0.76:
+				out = append(out, genericExtract(rng, i))
+			case r < 0.88:
+				out = append(out, genericCorrection(rng, i))
+			default:
+				out = append(out, genericTypeClass(rng, i))
+			}
+			continue
+		}
+		switch {
+		case r < 0.35:
+			out = append(out, genericMatch(rng, i))
+		case r < 0.65:
+			out = append(out, ruleFollowing(rng, i))
+		case r < 0.85:
+			out = append(out, genericExtract(rng, i))
+		default:
+			out = append(out, genericTypeClass(rng, i))
+		}
+	}
+	return out
+}
+
+// TableCorpus is the TableLLaMA-style pretraining mixture: table tasks only,
+// no instruction/rule-following tuning — a generalist that reads tables but
+// was never aligned to follow stated DP knowledge.
+func TableCorpus(seed int64, n int) []LabeledExample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []LabeledExample
+	for i := 0; i < n; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.5:
+			out = append(out, genericMatch(rng, i))
+		case r < 0.8:
+			out = append(out, genericTypeClass(rng, i))
+		default:
+			out = append(out, genericExtract(rng, i))
+		}
+	}
+	return out
+}
+
+// genericCorrection teaches zero-shot repair priors: among candidate fixes
+// for a corrupted value, prefer the one that looks like the clean form
+// (symbols stripped, dictionary spelling, -1 for missing) — the "common
+// sense" that lets an instruction-tuned LLM clean data it never trained on.
+func genericCorrection(rng *rand.Rand, i int) LabeledExample {
+	word := pick(rng, cities)
+	attr := pick(rng, []string{"name", "label", "city", "category"})
+	var dirty, gold string
+	switch rng.Intn(3) {
+	case 0: // stray symbol
+		dirty, gold = word+"%", word
+	case 1: // typo vs dictionary
+		dirty, gold = typo(rng, word), word
+	default: // missing
+		dirty, gold = "nan", "-1"
+	}
+	cands := []string{gold, pick(rng, cities), "-1", tasks.AnswerNA, dirty}
+	seen := map[string]bool{}
+	var uniq []string
+	goldIdx := -1
+	for _, c := range cands {
+		lc := strings.ToLower(c)
+		if seen[lc] {
+			continue
+		}
+		seen[lc] = true
+		if strings.EqualFold(c, gold) {
+			goldIdx = len(uniq)
+		}
+		uniq = append(uniq, c)
+	}
+	return LabeledExample{Kind: tasks.DC, Instance: &data.Instance{
+		ID: fmt.Sprintf("gen-dc-%d", i),
+		Fields: []data.Field{
+			{Name: attr, Value: dirty},
+			{Name: "context", Value: pick(rng, cities) + " " + pick(rng, cuisines)},
+		},
+		Target:     attr,
+		Candidates: uniq,
+		Gold:       goldIdx,
+	}}
+}
+
+func genericMatch(rng *rand.Rand, i int) LabeledExample {
+	id := fmt.Sprintf("gen-match-%d", i)
+	pos := maybe(rng, 0.4)
+	var in *data.Instance
+	switch rng.Intn(3) {
+	case 0:
+		render := func(p product, variant bool) []data.Field {
+			return []data.Field{
+				{Name: "title", Value: p.title(rng, variant)},
+				{Name: "price", Value: priceStr(p.price * (0.9 + rng.Float64()*0.2))},
+			}
+		}
+		in = emPair(rng, render, id, pos)
+	case 1:
+		p := genPaper(rng)
+		a := p.fields(rng, false)
+		b := p.fields(rng, true)
+		if !pos {
+			q := genPaper(rng)
+			b = q.fields(rng, true)
+		}
+		in = pairInstance(id, a, b, pos)
+	default:
+		name := pick(rng, lastNames) + "'s " + pick(rng, restaurantNouns)
+		city := pick(rng, cities)
+		a := []data.Field{{Name: "name", Value: name}, {Name: "city", Value: city}}
+		b := []data.Field{{Name: "name", Value: strings.ToLower(name)}, {Name: "city", Value: city}}
+		if !pos {
+			b = []data.Field{
+				{Name: "name", Value: pick(rng, lastNames) + "'s " + pick(rng, restaurantNouns)},
+				{Name: "city", Value: pick(rng, cities)},
+			}
+		}
+		in = pairInstance(id, a, b, pos)
+	}
+	return LabeledExample{Kind: tasks.EM, Instance: in}
+}
+
+// ruleFollowing creates examples where only the stated rule identifies the
+// answer. The value vocabulary is deliberately small and labels are random,
+// so content features actively mislead (they correlate with other examples'
+// labels): cross-entropy then has to grow the trust head until stated rules
+// dominate content — the instruction-override behaviour instruction tuning
+// gives real LLMs. Rules are right 92% of the time, so trust stays strong
+// but not absolute.
+func ruleFollowing(rng *rand.Rand, i int) LabeledExample {
+	tok := fmt.Sprintf("%c%c%d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(40))
+	gold := rng.Intn(2)
+	in := &data.Instance{
+		ID:         fmt.Sprintf("gen-rule-%d", i),
+		Fields:     []data.Field{{Name: "value", Value: tok}},
+		Target:     "value",
+		Candidates: []string{tasks.AnswerYes, tasks.AnswerNo},
+		Gold:       gold,
+	}
+	ruleAnswer := in.Candidates[gold]
+	if !maybe(rng, 0.92) {
+		ruleAnswer = in.Candidates[1-gold]
+	}
+	k := &tasks.Knowledge{
+		Text: fmt.Sprintf("When the value contains %q the answer is %s.", tok[:2], ruleAnswer),
+		Rules: []tasks.Rule{{
+			Cond:   tasks.Condition{Pred: tasks.PredContains, Attr: "value", Arg: tok[:2]},
+			Answer: tasks.Answer{Literal: ruleAnswer},
+			Weight: 1,
+		}},
+	}
+	return LabeledExample{Kind: tasks.ED, Instance: in, Knowledge: k}
+}
+
+// genericErrorSpot teaches the generic priors every data professional has:
+// missing markers and gross typos in otherwise clean columns are errors.
+func genericErrorSpot(rng *rand.Rand, i int) LabeledExample {
+	word := pick(rng, cities)
+	attr := pick(rng, []string{"label", "category", "city", "name"})
+	val := word
+	gold := 1
+	if maybe(rng, 0.4) {
+		gold = 0
+		if maybe(rng, 0.5) {
+			val = "nan"
+		} else {
+			val = typo(rng, word)
+			// Give context so the typo is detectable: a sibling field with
+			// the clean spelling.
+			return LabeledExample{Kind: tasks.ED, Instance: &data.Instance{
+				ID: fmt.Sprintf("gen-ed-%d", i),
+				Fields: []data.Field{
+					{Name: attr, Value: val},
+					{Name: "reference", Value: word},
+				},
+				Target:     attr,
+				Candidates: []string{tasks.AnswerYes, tasks.AnswerNo},
+				Gold:       gold,
+			}}
+		}
+	}
+	return LabeledExample{Kind: tasks.ED, Instance: &data.Instance{
+		ID: fmt.Sprintf("gen-ed-%d", i),
+		Fields: []data.Field{
+			{Name: attr, Value: val},
+			{Name: "reference", Value: word},
+		},
+		Target:     attr,
+		Candidates: []string{tasks.AnswerYes, tasks.AnswerNo},
+		Gold:       gold,
+	}}
+}
+
+// genericExtract teaches attribute-vocabulary associations: colors answer
+// color questions, brands answer brand questions, and so on.
+func genericExtract(rng *rand.Rand, i int) LabeledExample {
+	brand := pick(rng, brands)
+	color := pick(rng, colors)
+	noun := pick(rng, electronicNouns)
+	size := pick(rng, capacities)
+	title := strings.Join([]string{brand, color, noun, size}, " ")
+	attr, gold := "Brand", brand
+	switch rng.Intn(3) {
+	case 1:
+		attr, gold = "Color", color
+	case 2:
+		attr, gold = "Capacity", size
+	}
+	if maybe(rng, 0.15) {
+		// Absent attribute → n/a.
+		title = strings.Join([]string{brand, noun}, " ")
+		if attr != "Brand" {
+			gold = tasks.AnswerNA
+		}
+	}
+	return LabeledExample{Kind: tasks.AVE, Instance: aveInstance(fmt.Sprintf("gen-ave-%d", i), title, attr, gold)}
+}
+
+// genericTypeClass teaches broad value-type recognition with label names
+// that overlap the SOTAB space only partially (shared tokens transfer,
+// exact label strings differ).
+func genericTypeClass(rng *rand.Rand, i int) LabeledExample {
+	types := []string{"email", "telephone", "date", "postalCode", "personName", "organization", "currency", "streetAddress"}
+	typ := pick(rng, types)
+	var fields []data.Field
+	for j := 0; j < 4; j++ {
+		fields = append(fields, data.Field{Name: "sample", Value: sotabValue(rng, typ)})
+	}
+	gold := -1
+	for k, t := range types {
+		if t == typ {
+			gold = k
+		}
+	}
+	return LabeledExample{Kind: tasks.CTA, Instance: &data.Instance{
+		ID:         fmt.Sprintf("gen-cta-%d", i),
+		Fields:     fields,
+		Candidates: types,
+		Gold:       gold,
+	}}
+}

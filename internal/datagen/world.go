@@ -1,0 +1,40 @@
+package datagen
+
+// WorldLexicon exposes the generator vocabularies as named categories of
+// known surface forms. It models the world knowledge a strong closed-source
+// LLM brings to the AKB loop: GPT-4o recognizes that "San Fransico" is a
+// misspelled city or that "Amber Lager" is a beer style without being shown
+// a dictionary, and the simulated oracle (internal/oracle) gets the same
+// power from these lists. Experiment code never reads gold labels from
+// here — only surface vocabularies.
+func WorldLexicon() map[string][]string {
+	lex := map[string][]string{
+		"city":     append(append([]string{}, cities...), cityAbbrevs()...),
+		"state":    states,
+		"style":    beerStyles,
+		"brand":    brands,
+		"brewery":  breweries,
+		"journal":  journalAbbrevs,
+		"cuisine":  cuisines,
+		"beername": beerNames(),
+	}
+	return lex
+}
+
+func cityAbbrevs() []string {
+	var out []string
+	for _, c := range cities {
+		out = append(out, abbreviate(c))
+	}
+	return out
+}
+
+func beerNames() []string {
+	var out []string
+	for _, a := range beerNameParts1 {
+		for _, b := range beerNameParts2 {
+			out = append(out, a+" "+b)
+		}
+	}
+	return out
+}

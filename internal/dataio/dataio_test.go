@@ -1,0 +1,203 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/tasks"
+)
+
+const beerCSV = `beer_name,abv,city,label
+Hop Storm,0.05,Springfield,no
+Iron Haze,0.07%,Riverside,yes
+Cloud Fox,nan,Dover,yes
+`
+
+func TestReadCSV(t *testing.T) {
+	tb, err := ReadCSV("beer", strings.NewReader(beerCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Attrs) != 4 || len(tb.Rows) != 3 {
+		t.Fatalf("shape = %d cols x %d rows", len(tb.Attrs), len(tb.Rows))
+	}
+	if tb.Cell(1, "abv") != "0.07%" {
+		t.Fatalf("cell = %q", tb.Cell(1, "abv"))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Fatal("empty stream should error")
+	}
+	ragged := "a,b\n1\n"
+	if _, err := ReadCSV("x", strings.NewReader(ragged)); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb, err := ReadCSV("beer", strings.NewReader(beerCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := ReadCSV("beer", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb2.Rows) != len(tb.Rows) {
+		t.Fatal("round trip lost rows")
+	}
+	for i := range tb.Rows {
+		for j := range tb.Rows[i] {
+			if tb.Rows[i][j] != tb2.Rows[i][j] {
+				t.Fatalf("cell (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestEDInstances(t *testing.T) {
+	tb, _ := ReadCSV("beer", strings.NewReader(beerCSV))
+	ins, err := EDInstances(tb, "abv", "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 3 {
+		t.Fatalf("got %d instances", len(ins))
+	}
+	if ins[0].GoldText() != tasks.AnswerNo || ins[1].GoldText() != tasks.AnswerYes {
+		t.Fatalf("labels wrong: %s, %s", ins[0].GoldText(), ins[1].GoldText())
+	}
+	if ins[0].Target != "abv" {
+		t.Fatalf("target = %q", ins[0].Target)
+	}
+	// The label column must not leak into the record fields.
+	for _, f := range ins[0].Fields {
+		if f.Name == "label" {
+			t.Fatal("label column leaked into the record")
+		}
+	}
+	if _, err := EDInstances(tb, "nope", "label"); err == nil {
+		t.Fatal("unknown target must error")
+	}
+	if _, err := EDInstances(tb, "abv", "nope"); err == nil {
+		t.Fatal("unknown label column must error")
+	}
+}
+
+const pairCSV = `left_title,left_price,right_title,right_price,match
+acme blender bx-1,9.99,acme bx-1 blender,10.99,1
+acme blender bx-1,9.99,zuma toaster tk-2,8.99,0
+`
+
+func TestEMInstances(t *testing.T) {
+	tb, _ := ReadCSV("pairs", strings.NewReader(pairCSV))
+	ins, err := EMInstances(tb, "match")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 2 {
+		t.Fatalf("got %d instances", len(ins))
+	}
+	if ins[0].GoldText() != tasks.AnswerYes || ins[1].GoldText() != tasks.AnswerNo {
+		t.Fatal("labels wrong")
+	}
+	var a, b int
+	for _, f := range ins[0].Fields {
+		switch f.Entity {
+		case "A":
+			a++
+		case "B":
+			b++
+		}
+	}
+	if a != 2 || b != 2 {
+		t.Fatalf("entity split wrong: %d/%d", a, b)
+	}
+	// Missing left_/right_ prefixes must error.
+	flat, _ := ReadCSV("flat", strings.NewReader("x,match\n1,1\n"))
+	if _, err := EMInstances(flat, "match"); err == nil {
+		t.Fatal("non-pair table must error")
+	}
+}
+
+func TestDIInstances(t *testing.T) {
+	csv := "name,brand\nphone one,Acme\nphone two,Zuma\nphone three,Acme\n"
+	tb, _ := ReadCSV("phones", strings.NewReader(csv))
+	ins, err := DIInstances(tb, "brand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 3 {
+		t.Fatalf("got %d instances", len(ins))
+	}
+	for _, in := range ins {
+		if in.FieldValue("brand") != "nan" {
+			t.Fatal("target must be masked")
+		}
+		if in.Gold < 0 {
+			t.Fatal("gold missing")
+		}
+	}
+	// Candidates = distinct brands + n/a.
+	if len(ins[0].Candidates) != 3 {
+		t.Fatalf("candidates = %v", ins[0].Candidates)
+	}
+}
+
+func TestParseBinaryLabel(t *testing.T) {
+	for _, v := range []string{"yes", "1", "TRUE", "match"} {
+		if g, err := parseBinaryLabel(v); err != nil || g != 0 {
+			t.Fatalf("parse(%q) = %d, %v", v, g, err)
+		}
+	}
+	for _, v := range []string{"no", "0", "False"} {
+		if g, err := parseBinaryLabel(v); err != nil || g != 1 {
+			t.Fatalf("parse(%q) = %d, %v", v, g, err)
+		}
+	}
+	if _, err := parseBinaryLabel("maybe"); err == nil {
+		t.Fatal("bad label should error")
+	}
+}
+
+// JSON round trip against the real generated datasets.
+func TestJSONRoundTripGeneratedDataset(t *testing.T) {
+	b := datagen.ByKey("ED/Beer", 1, 0.05)
+	var buf bytes.Buffer
+	if err := EncodeJSON(b.DS, tasks.RenderKnowledgeText(b.Seed), &buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != b.DS.Name || ds.Task != b.DS.Task {
+		t.Fatal("metadata lost")
+	}
+	if len(ds.Train) != len(b.DS.Train) || len(ds.Test) != len(b.DS.Test) {
+		t.Fatal("split sizes changed")
+	}
+	for i := range ds.Train {
+		if ds.Train[i].GoldText() != b.DS.Train[i].GoldText() {
+			t.Fatalf("gold changed at %d", i)
+		}
+		if len(ds.Train[i].Fields) != len(b.DS.Train[i].Fields) {
+			t.Fatalf("fields changed at %d", i)
+		}
+	}
+}
+
+func TestDecodeJSONRejectsBadGold(t *testing.T) {
+	bad := `{"name":"x","task":"ED","train":[{"id":"1","fields":[],"candidates":["yes"],"gold":5}],"test":[]}`
+	if _, err := DecodeJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range gold must be rejected")
+	}
+}

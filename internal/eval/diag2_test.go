@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/akb"
+	"repro/internal/baselines"
+	"repro/internal/lora"
+	"repro/internal/tasks"
+)
+
+// TestDiagnoseComponents splits KnowTrans into SKC and AKB contributions on
+// the datasets where the quick sweep showed regressions (verbose-only).
+func TestDiagnoseComponents(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	z := zooForTest()
+	for _, key := range []string{"SM/CMS", "AVE/AE-110k", "ED/Beer", "AVE/OA-mine"} {
+		b := z.DownstreamByKey(key)
+		fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+"shape", 0), FewShotN)
+		seed := repSeed(z, b.Key()+"shape", 0)
+		ctx := &baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: seed}
+		spec := tasks.SpecFor(b.Kind)
+
+		jelly := z.Method(MethodJellyfish).Adapt(ctx)
+		jScore := baselines.Evaluate(jelly, b.Kind, b.DS.Test)
+
+		skcOnly, err := z.AdaptKnowTrans(ctx, Size7B, true, false, lora.StrategyAdaptive, akb.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sScore := skcOnly.Evaluate(b.DS.Test)
+
+		full, err := z.AdaptKnowTrans(ctx, Size7B, true, true, lora.StrategyAdaptive, akb.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fScore := full.Evaluate(b.DS.Test)
+		noK := akb.Evaluate(full.Model, spec, b.DS.Test, nil)
+		t.Logf("%-14s jelly=%6.2f skc=%6.2f skc-no-k=%6.2f full=%6.2f  akbEval=%.1f knowledge=%v",
+			key, jScore, sScore, noK, fScore, full.AKBResult.BestScore, full.Knowledge != nil)
+		if full.Knowledge != nil {
+			txt := tasks.RenderKnowledgeText(full.Knowledge)
+			if len(txt) > 300 {
+				txt = txt[:300] + "..."
+			}
+			t.Logf("   knowledge: %s", txt)
+		}
+	}
+}

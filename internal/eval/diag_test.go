@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/akb"
+	"repro/internal/baselines"
+	"repro/internal/lora"
+	"repro/internal/oracle"
+	"repro/internal/tasks"
+)
+
+// TestDiagnoseBeerED is a diagnostic harness (verbose-only) that breaks the
+// KnowTrans pipeline into stages on ED/Beer and prints each stage's score,
+// including an ideal-knowledge ceiling.
+func TestDiagnoseBeerED(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	z := zooForTest()
+	b := z.DownstreamByKey("ED/Beer")
+	fewshot := b.DS.FewShot(fewShotRNG(z, "diag", 0), FewShotN)
+	seed := repSeed(z, "diag", 0)
+	spec := tasks.SpecFor(b.Kind)
+	test := b.DS.Test
+
+	upstream := z.Upstream(Size7B)
+	t.Logf("trust scalar after pretraining+SFT: %.3f", upstream.Trust.Val)
+	t.Logf("upstream zero-shot:          %6.2f", upstream.Evaluate(spec, test, nil))
+
+	// Plain few-shot FT (the Jellyfish row).
+	jelly := z.Method(MethodJellyfish).Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: seed})
+	t.Logf("jellyfish few-shot FT:       %6.2f", baselines.Evaluate(jelly, b.Kind, test))
+
+	// SKC only.
+	ctx := &baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: seed}
+	skcOnly, err := z.AdaptKnowTrans(ctx, Size7B, true, false, lora.StrategyAdaptive, akb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SKC only:                    %6.2f", skcOnly.Evaluate(test))
+
+	// Ideal knowledge ceiling: the planted Beer rules, hand-written.
+	ideal := &tasks.Knowledge{
+		Text: "ABV must be a decimal between 0 and 1 without a % symbol; IBU must be numeric; nan is an error; misspelled cities are errors.",
+		Rules: []tasks.Rule{
+			{Target: "abv", Cond: tasks.Condition{Pred: tasks.PredFormat, Arg: tasks.FormatPercent}, Answer: tasks.Answer{Literal: "yes"}, Weight: 1},
+			{Target: "abv", Cond: tasks.Condition{Pred: tasks.PredNotInRange, Arg: "0..1"}, Answer: tasks.Answer{Literal: "yes"}, Weight: 1},
+			{Target: "ibu", Cond: tasks.Condition{Pred: tasks.PredMissing}, Answer: tasks.Answer{Literal: "yes"}, Weight: 1},
+			{Target: "ibu", Cond: tasks.Condition{Pred: tasks.PredNotFormat, Arg: tasks.FormatInteger}, Answer: tasks.Answer{Literal: "yes"}, Weight: 1},
+			{Target: "style", Cond: tasks.Condition{Pred: tasks.PredMissing}, Answer: tasks.Answer{Literal: "yes"}, Weight: 1},
+		},
+	}
+	t.Logf("SKC + ideal knowledge:       %6.2f (trust=%.3f)", akb.Evaluate(skcOnly.Model, spec, test, ideal), skcOnly.Model.Trust.Val)
+
+	// AKB on the SKC model with the real oracle.
+	res := akb.Search(skcOnly.Model, oracle.New(seed+771), b.Kind, fewshot, nil, akb.DefaultConfig(seed))
+	t.Logf("AKB searched (eval=%.2f):    %6.2f", res.BestScore, akb.Evaluate(skcOnly.Model, spec, test, res.Best))
+	t.Logf("searched knowledge: %s", tasks.RenderKnowledgeText(res.Best))
+
+	// Per-error-type accuracy of the SKC model without/with knowledge,
+	// plus how often rules fire on clean records.
+	byType := map[string][3]int{}
+	cleanFires := 0
+	for _, in := range test {
+		key := in.Meta["error_type"]
+		c := byType[key]
+		c[2]++
+		if skcOnly.Model.PredictWith(spec, in, nil) == in.GoldText() {
+			c[0]++
+		}
+		if skcOnly.Model.PredictWith(spec, in, res.Best) == in.GoldText() {
+			c[1]++
+		}
+		byType[key] = c
+		if key == "clean" {
+			for _, h := range res.Best.Hints(in) {
+				if h > 0 {
+					cleanFires++
+					break
+				}
+			}
+		}
+	}
+	for k, c := range byType {
+		t.Logf("  %-16s plain %3d/%3d  with-k %3d/%3d", k, c[0], c[2], c[1], c[2])
+	}
+	t.Logf("rules fire on %d clean records", cleanFires)
+}

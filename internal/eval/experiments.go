@@ -1,0 +1,240 @@
+package eval
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/datagen"
+	"repro/internal/lora"
+)
+
+// FewShotN is the paper's labeled budget per novel dataset (Table I).
+const FewShotN = 20
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(z *Zoo, reps int) *Table
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Statistics of downstream datasets (Table I)", runTable1},
+		{"table2", "7B open-source DP-LLMs and non-LLM methods on 13 datasets (Table II)", runTable2},
+		{"table3", "Token and cost analysis per instance (Table III)", runTable3},
+		{"table4", "Closed-source LLMs vs KnowTrans-7B/8B/13B (Table IV)", runTable4},
+		{"table5", "Ablation study: SKC and AKB components (Table V)", runTable5},
+		{"table6", "Weight strategies: single / uniform / adaptive (Table VI)", runTable6},
+		{"table7", "Statistics of upstream datasets (Table VII)", runTable7},
+		{"fig4", "Scalability: score vs labeled instances (Fig. 4)", runFig4},
+		{"fig5", "Backbones with KnowTrans on novel datasets (Fig. 5)", runFig5},
+		{"fig6", "Backbones with KnowTrans on novel tasks (Fig. 6)", runFig6},
+		{"fig7", "Refinement rounds: eval/test score per round (Fig. 7)", runFig7},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fewShotRNG derives the deterministic sampler for a (dataset, repetition)
+// pair; every method sees the same few-shot sample within a repetition.
+func fewShotRNG(z *Zoo, key string, rep int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", key, rep, z.Seed)
+	return rand.New(rand.NewSource(int64(h.Sum64() & 0x7fffffffffffffff)))
+}
+
+func repSeed(z *Zoo, key string, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed|%s|%d|%d", key, rep, z.Seed)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// runMethodsOn evaluates the named methods on the bundles, averaging scores
+// over reps repetitions with per-repetition few-shot samples.
+func runMethodsOn(z *Zoo, bundles []*datagen.Bundle, methodNames []string, reps int, fewshotN int) *Table {
+	t := &Table{Columns: methodNames}
+	for _, b := range bundles {
+		cells := map[string]float64{}
+		for _, name := range methodNames {
+			m := z.Method(name)
+			var sum float64
+			for rep := 0; rep < reps; rep++ {
+				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), fewshotN)
+				pred := m.Adapt(&baselines.AdaptContext{
+					Bundle:  b,
+					FewShot: fewshot,
+					Seed:    repSeed(z, b.Key()+name, rep),
+				})
+				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+			}
+			cells[name] = sum / float64(reps)
+		}
+		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	}
+	return t
+}
+
+// --- Table I / Table VII: dataset statistics ---------------------------------
+
+func runTable1(z *Zoo, _ int) *Table {
+	t := &Table{ID: "table1", Title: "Statistic of Datasets (paper sizes; generated at scale shown)",
+		Columns: []string{"Training Set", "Few-shot", "Test Set", "Generated Train", "Generated Test"}}
+	for _, b := range z.Downstream() {
+		train, test, _ := datagen.PaperSizes(b.Key())
+		t.AddRow(string(b.Kind), b.DS.Name, map[string]float64{
+			"Training Set":    float64(train),
+			"Few-shot":        FewShotN,
+			"Test Set":        float64(test),
+			"Generated Train": float64(len(b.DS.Train)),
+			"Generated Test":  float64(len(b.DS.Test)),
+		})
+	}
+	return t
+}
+
+func runTable7(z *Zoo, _ int) *Table {
+	t := &Table{ID: "table7", Title: "Statistic of Upstream Datasets",
+		Columns: []string{"#Samples", "#Positives", "Generated", "Generated Positives"}}
+	for _, b := range z.UpstreamBundles() {
+		samples, positives, _ := datagen.PaperUpstreamSize(b.Key())
+		genPos := 0
+		for _, in := range b.DS.Train {
+			if in.GoldText() == "yes" {
+				genPos++
+			}
+		}
+		cells := map[string]float64{
+			"#Samples":  float64(samples),
+			"Generated": float64(len(b.DS.Train)),
+		}
+		if positives > 0 {
+			cells["#Positives"] = float64(positives)
+			cells["Generated Positives"] = float64(genPos)
+		}
+		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	}
+	return t
+}
+
+// --- Table II: open-source DP-LLMs + non-LLM ---------------------------------
+
+func runTable2(z *Zoo, reps int) *Table {
+	methods := []string{
+		MethodNonLLM, MethodMistral, MethodTableLLaMA, MethodMELD,
+		MethodJellyfish, MethodJellyfishICL, MethodKnowTrans,
+	}
+	t := runMethodsOn(z, z.Downstream(), methods, reps, FewShotN)
+	t.ID, t.Title = "table2", "Comparison of 7B open-source DP-LLMs and non-LLM methods (few-shot)"
+	return t.WithAverages()
+}
+
+// --- Table IV: closed-source LLMs vs KnowTrans sizes --------------------------
+
+func runTable4(z *Zoo, reps int) *Table {
+	columns := []string{MethodGPT35, MethodGPT4, MethodGPT4o, "KnowTrans-7B", "KnowTrans-8B", "KnowTrans-13B"}
+	t := &Table{ID: "table4", Title: "Comparison with closed-source LLMs (few-shot)", Columns: columns}
+	sizes := map[string]Size{"KnowTrans-7B": Size7B, "KnowTrans-8B": Size8B, "KnowTrans-13B": Size13B}
+	for _, b := range z.Downstream() {
+		cells := map[string]float64{}
+		for _, name := range columns {
+			var m baselines.Method
+			if size, ok := sizes[name]; ok {
+				m = z.KnowTransMethod(size, true, true, lora.StrategyAdaptive)
+			} else {
+				m = z.Method(name)
+			}
+			var sum float64
+			for rep := 0; rep < reps; rep++ {
+				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
+				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
+				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+			}
+			cells[name] = sum / float64(reps)
+		}
+		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	}
+	return t.WithAverages()
+}
+
+// --- Table V: ablation ---------------------------------------------------------
+
+// table5Datasets are the seven datasets of the paper's ablation.
+var table5Datasets = []string{
+	"DI/Flipkart", "DI/Phone", "CTA/SOTAB", "AVE/AE-110k", "AVE/OA-mine", "DC/Rayyan", "DC/Beer",
+}
+
+func runTable5(z *Zoo, reps int) *Table {
+	columns := []string{"w/o SKC & AKB", "w/o SKC", "w/o AKB", "KnowTrans"}
+	configs := map[string][2]bool{ // {useSKC, useAKB}
+		"w/o SKC & AKB": {false, false},
+		"w/o SKC":       {false, true},
+		"w/o AKB":       {true, false},
+		"KnowTrans":     {true, true},
+	}
+	t := &Table{ID: "table5", Title: "Ablation study of SKC and AKB (KnowTrans-7B)", Columns: columns}
+	for _, key := range table5Datasets {
+		b := z.DownstreamByKey(key)
+		cells := map[string]float64{}
+		for _, name := range columns {
+			cfg := configs[name]
+			m := z.KnowTransMethod(Size7B, cfg[0], cfg[1], lora.StrategyAdaptive)
+			var sum float64
+			for rep := 0; rep < reps; rep++ {
+				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
+				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
+				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+			}
+			cells[name] = sum / float64(reps)
+		}
+		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	}
+	return t.WithAverages()
+}
+
+// --- Table VI: weight strategies -----------------------------------------------
+
+var table6Datasets = []string{"ED/Flights", "ED/Rayyan", "EM/Abt-Buy", "AVE/AE-110k"}
+
+func runTable6(z *Zoo, reps int) *Table {
+	columns := []string{"Single", "Uniform", "Adaptive", "KnowTrans"}
+	t := &Table{ID: "table6", Title: "Weight strategies for upstream knowledge patches (KnowTrans-7B)", Columns: columns}
+	for _, key := range table6Datasets {
+		b := z.DownstreamByKey(key)
+		cells := map[string]float64{}
+		for _, name := range columns {
+			var m baselines.Method
+			switch name {
+			case "Single":
+				// No upstream patches, no AKB: the bare shared-patch model.
+				m = z.KnowTransMethod(Size7B, true, false, lora.StrategySingle)
+			case "Uniform":
+				m = z.KnowTransMethod(Size7B, true, false, lora.StrategyUniform)
+			case "Adaptive":
+				m = z.KnowTransMethod(Size7B, true, false, lora.StrategyAdaptive)
+			default: // KnowTrans = adaptive + AKB
+				m = z.KnowTransMethod(Size7B, true, true, lora.StrategyAdaptive)
+			}
+			var sum float64
+			for rep := 0; rep < reps; rep++ {
+				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
+				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
+				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+			}
+			cells[name] = sum / float64(reps)
+		}
+		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	}
+	return t.WithAverages()
+}

@@ -1,0 +1,200 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/akb"
+	"repro/internal/baselines"
+	"repro/internal/data"
+	"repro/internal/lora"
+	"repro/internal/model"
+	"repro/internal/oracle"
+	"repro/internal/tasks"
+)
+
+// --- Fig. 4: scalability --------------------------------------------------------
+
+var fig4Datasets = []string{"DC/Rayyan", "SM/CMS", "EM/Walmart-Amazon", "AVE/AE-110k"}
+
+// fig4Counts are the labeled-instance budgets of Fig. 4.
+var fig4Counts = []int{20, 50, 100, 200, 1000, 2000}
+
+func runFig4(z *Zoo, reps int) *Table {
+	t := &Table{ID: "fig4", Title: "Scalability: Jellyfish-7B vs KnowTrans-7B as labeled instances grow",
+		Columns: []string{"Instances", "Jellyfish-7B", "KnowTrans-7B"}}
+	for _, key := range fig4Datasets {
+		b := z.DownstreamByKey(key)
+		prev := -1
+		for _, n := range fig4Counts {
+			if n > len(b.DS.Train) {
+				// At reduced generation scale the pool may be smaller than
+				// the paper's largest budgets; use what exists.
+				n = len(b.DS.Train)
+			}
+			if n == prev {
+				continue
+			}
+			prev = n
+			cells := map[string]float64{"Instances": float64(n)}
+			for _, name := range []string{MethodJellyfish, MethodKnowTrans} {
+				m := z.Method(name)
+				var sum float64
+				for rep := 0; rep < reps; rep++ {
+					fewshot := b.DS.FewShot(fewShotRNG(z, fmt.Sprintf("%s|%s|%d", b.Key(), name, n), rep), n)
+					pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot,
+						Seed: repSeed(z, fmt.Sprintf("%s|%s|%d", b.Key(), name, n), rep)})
+					sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+				}
+				col := "Jellyfish-7B"
+				if name == MethodKnowTrans {
+					col = "KnowTrans-7B"
+				}
+				cells[col] = sum / float64(reps)
+			}
+			t.AddRow(string(b.Kind), fmt.Sprintf("%s@%d", b.DS.Name, n), cells)
+		}
+	}
+	return t
+}
+
+// --- Fig. 5 / Fig. 6: backbones ---------------------------------------------------
+
+// backboneVariants pairs each backbone with its KnowTrans-boosted version.
+func backboneVariants(z *Zoo) []struct {
+	column string
+	method baselines.Method
+} {
+	return []struct {
+		column string
+		method baselines.Method
+	}{
+		{"Mistral-7B", z.Method(MethodMistral)},
+		{"Mistral-7B+KT", z.KnowTransOnBase(Size7B)},
+		{"Jellyfish-7B", z.Method(MethodJellyfish)},
+		{"Jellyfish-7B+KT", z.KnowTransMethod(Size7B, true, true, lora.StrategyAdaptive)},
+		{"Jellyfish-8B", &baselines.FineTuned{MethodName: "Jellyfish-8B", Backbone: upstreamClone(z, Size8B)}},
+		{"Jellyfish-8B+KT", z.KnowTransMethod(Size8B, true, true, lora.StrategyAdaptive)},
+		{"Jellyfish-13B", &baselines.FineTuned{MethodName: "Jellyfish-13B", Backbone: upstreamClone(z, Size13B)}},
+		{"Jellyfish-13B+KT", z.KnowTransMethod(Size13B, true, true, lora.StrategyAdaptive)},
+	}
+}
+
+func upstreamClone(z *Zoo, size Size) func() *model.Model {
+	return func() *model.Model { return z.Upstream(size).Clone() }
+}
+
+func runBackboneFigure(z *Zoo, reps int, id, title string, keys []string) *Table {
+	variants := backboneVariants(z)
+	columns := make([]string, 0, len(variants))
+	for _, v := range variants {
+		columns = append(columns, v.column)
+	}
+	t := &Table{ID: id, Title: title, Columns: columns}
+	for _, key := range keys {
+		b := z.DownstreamByKey(key)
+		cells := map[string]float64{}
+		for _, v := range variants {
+			var sum float64
+			for rep := 0; rep < reps; rep++ {
+				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+v.column, rep), FewShotN)
+				pred := v.method.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot,
+					Seed: repSeed(z, b.Key()+v.column, rep)})
+				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+			}
+			cells[v.column] = sum / float64(reps)
+		}
+		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	}
+	return t.WithAverages()
+}
+
+func runFig5(z *Zoo, reps int) *Table {
+	// Novel datasets: the ED/DI/SM/EM downstream sets.
+	keys := []string{
+		"ED/Flights", "ED/Rayyan", "ED/Beer",
+		"DI/Flipkart", "DI/Phone", "SM/CMS",
+		"EM/Abt-Buy", "EM/Walmart-Amazon",
+	}
+	return runBackboneFigure(z, reps, "fig5", "Backbones ± KnowTrans on novel datasets", keys)
+}
+
+func runFig6(z *Zoo, reps int) *Table {
+	// Novel tasks: CTA, AVE, DC.
+	keys := []string{"CTA/SOTAB", "AVE/AE-110k", "AVE/OA-mine", "DC/Rayyan", "DC/Beer"}
+	return runBackboneFigure(z, reps, "fig6", "Backbones ± KnowTrans on novel tasks", keys)
+}
+
+// --- Fig. 7: refinement rounds -----------------------------------------------------
+
+var fig7Datasets = []string{"ED/Rayyan", "AVE/AE-110k"}
+
+func runFig7(z *Zoo, reps int) *Table {
+	t := &Table{ID: "fig7", Title: "Effect of refinement rounds on eval and test scores (KnowTrans-7B)",
+		Columns: []string{"Round", "Eval", "Test"}}
+	for _, key := range fig7Datasets {
+		b := z.DownstreamByKey(key)
+		rounds := 7
+		evalSum := make([]float64, rounds)
+		testSum := make([]float64, rounds)
+		evalN := make([]int, rounds)
+		for rep := 0; rep < reps; rep++ {
+			// A larger labeled pool split into disjoint fine-tuning and
+			// validation halves (the paper's Section VII-A train/validation
+			// split): a validation set the model did not memorize is what
+			// lets the eval curve climb across refinement rounds.
+			pool := b.DS.FewShot(fewShotRNG(z, b.Key()+"fig7", rep), 2*FewShotN)
+			half := len(pool) / 2
+			ftHalf, valHalf := pool[:half], pool[half:]
+			ctx := &baselines.AdaptContext{Bundle: b, FewShot: ftHalf, Seed: repSeed(z, b.Key()+"fig7", rep)}
+			// Fine-tune with SKC but defer AKB: the search is run manually
+			// with a test probe and an extended round budget.
+			ad, err := z.AdaptKnowTrans(ctx, Size7B, true, false, lora.StrategyAdaptive, akb.Config{})
+			if err != nil {
+				panic(err)
+			}
+			probe := b.DS.Test
+			if len(probe) > 300 {
+				probe = probe[:300]
+			}
+			cfg := akb.DefaultConfig(ctx.Seed)
+			cfg.Iterations = rounds
+			res := akb.Search(ad.Model, oracle.New(ctx.Seed+771), b.Kind, valHalf, probe, cfg)
+			last := akb.Step{TestScore: -1}
+			for r := 0; r < rounds; r++ {
+				step := last
+				for _, s := range res.Steps {
+					if s.Iter == r {
+						step = s
+					}
+				}
+				// After convergence the curve stays flat at the last value.
+				if step.TestScore >= 0 || r == 0 {
+					last = step
+				}
+				evalSum[r] += last.EvalScore
+				testSum[r] += last.TestScore
+				evalN[r]++
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			t.AddRow(string(b.Kind), fmt.Sprintf("%s@round%d", b.DS.Name, r), map[string]float64{
+				"Round": float64(r),
+				"Eval":  evalSum[r] / float64(evalN[r]),
+				"Test":  testSum[r] / float64(evalN[r]),
+			})
+		}
+	}
+	return t
+}
+
+// evaluateAdapted scores an Adapted on instances (helper for tests).
+func evaluateAdapted(a interface {
+	Predict(in *data.Instance) string
+}, kind tasks.Kind, test []*data.Instance) float64 {
+	spec := tasks.SpecFor(kind)
+	metric := tasks.NewMetric(spec.Metric)
+	for _, in := range test {
+		metric.Add(a.Predict(in), in.GoldText())
+	}
+	return metric.Score()
+}

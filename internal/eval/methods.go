@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"repro/internal/akb"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/lora"
+	"repro/internal/model"
+	"repro/internal/oracle"
+	"repro/internal/skc"
+)
+
+// Method names as they appear in the paper's tables.
+const (
+	MethodNonLLM       = "Non-LLM"
+	MethodMistral      = "Mistral"
+	MethodTableLLaMA   = "TableLLaMA"
+	MethodMELD         = "MELD"
+	MethodJellyfish    = "Jellyfish"
+	MethodJellyfishICL = "Jellyfish-ICL"
+	MethodKnowTrans    = "KnowTrans"
+	MethodGPT35        = "GPT-3.5"
+	MethodGPT4         = "GPT-4"
+	MethodGPT4o        = "GPT-4o"
+)
+
+// Method builds a baselines.Method from the zoo's artifacts.
+func (z *Zoo) Method(name string) baselines.Method {
+	switch name {
+	case MethodNonLLM:
+		return baselines.NonLLM{}
+	case MethodMistral:
+		// The paper fine-tunes raw Mistral-7B on the few-shot data.
+		return &baselines.FineTuned{MethodName: name, Backbone: func() *model.Model { return z.Base(Size7B).Clone() }}
+	case MethodTableLLaMA:
+		return &baselines.FineTuned{MethodName: name, Backbone: func() *model.Model { return z.Base(SizeTable).Clone() }}
+	case MethodMELD:
+		return &baselines.MELD{
+			Backbone:  func() *model.Model { return z.Upstream(Size7B).Clone() },
+			Snaps:     z.Patches(Size7B),
+			Centroids: z.Centroids(Size7B),
+		}
+	case MethodJellyfish:
+		return &baselines.FineTuned{MethodName: name, Backbone: func() *model.Model { return z.Upstream(Size7B).Clone() }}
+	case MethodJellyfishICL:
+		return &baselines.ICL{MethodName: name, Backbone: func() *model.Model { return z.Upstream(Size7B).Clone() }, K: 10, VoteWeight: 0.6}
+	case MethodKnowTrans:
+		return z.KnowTransMethod(Size7B, true, true, lora.StrategyAdaptive)
+	case MethodGPT35:
+		return &baselines.ICL{MethodName: name, Backbone: func() *model.Model { return z.Base(SizeGPT35).Clone() }, K: 10, VoteWeight: 1.0}
+	case MethodGPT4:
+		return &baselines.ICL{MethodName: name, Backbone: func() *model.Model { return z.Base(SizeGPT4).Clone() }, K: 10, VoteWeight: 1.2}
+	case MethodGPT4o:
+		return &baselines.ICL{MethodName: name, Backbone: func() *model.Model { return z.Base(SizeGPT4o).Clone() }, K: 10, VoteWeight: 1.2}
+	default:
+		panic("eval: unknown method " + name)
+	}
+}
+
+// ktMethod adapts core.KnowTrans to the baselines.Method interface, with
+// ablation and weight-strategy switches for Tables V and VI.
+type ktMethod struct {
+	name     string
+	z        *Zoo
+	size     Size
+	upstream bool // false: run on the raw base backbone (Fig. 5/6 Mistral row)
+	useSKC   bool
+	useAKB   bool
+	strategy lora.WeightStrategy
+}
+
+// KnowTransMethod returns the full framework on a Jellyfish backbone of the
+// given size, with ablation switches.
+func (z *Zoo) KnowTransMethod(size Size, useSKC, useAKB bool, strategy lora.WeightStrategy) baselines.Method {
+	name := MethodKnowTrans + "-" + string(size)
+	switch {
+	case useSKC && !useAKB:
+		name += " (w/o AKB)"
+	case !useSKC && useAKB:
+		name += " (w/o SKC)"
+	case !useSKC && !useAKB:
+		name += " (w/o SKC & AKB)"
+	}
+	if strategy != lora.StrategyAdaptive {
+		name += " [" + strategy.String() + "]"
+	}
+	return &ktMethod{name: name, z: z, size: size, upstream: true, useSKC: useSKC, useAKB: useAKB, strategy: strategy}
+}
+
+// KnowTransOnBase returns KnowTrans applied to a base (non-upstream-trained)
+// backbone — the Mistral-7B + KnowTrans configuration of Fig. 5/6.
+func (z *Zoo) KnowTransOnBase(size Size) baselines.Method {
+	return &ktMethod{name: MethodKnowTrans + "-base-" + string(size), z: z, size: size, upstream: false, useSKC: true, useAKB: true}
+}
+
+func (k *ktMethod) Name() string { return k.name }
+
+func (k *ktMethod) Adapt(ctx *baselines.AdaptContext) baselines.Predictor {
+	backbone := k.z.Base(k.size)
+	if k.upstream {
+		backbone = k.z.Upstream(k.size)
+	}
+	kt := &core.KnowTrans{
+		Upstream: backbone,
+		Patches:  k.z.Patches(k.size),
+		Oracle:   oracle.New(ctx.Seed + 771),
+		UseSKC:   k.useSKC,
+		UseAKB:   k.useAKB,
+		SKC:      skc.Options{Strategy: k.strategy},
+	}
+	ad, err := kt.Transfer(ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
+	if err != nil {
+		panic(err)
+	}
+	return ad
+}
+
+// AdaptKnowTrans exposes the full Adapted artifact (fusion weights, searched
+// knowledge) for experiments that inspect internals (Table VI, Fig. 7).
+func (z *Zoo) AdaptKnowTrans(ctx *baselines.AdaptContext, size Size, useSKC, useAKB bool, strategy lora.WeightStrategy, akbCfg akb.Config) (*core.Adapted, error) {
+	backbone := z.Upstream(size)
+	kt := &core.KnowTrans{
+		Upstream: backbone,
+		Patches:  z.Patches(size),
+		Oracle:   oracle.New(ctx.Seed + 771),
+		UseSKC:   useSKC,
+		UseAKB:   useAKB,
+		SKC:      skc.Options{Strategy: strategy},
+		AKB:      akbCfg,
+	}
+	return kt.Transfer(ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
+}

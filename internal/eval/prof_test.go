@@ -1,0 +1,10 @@
+package eval
+
+import "testing"
+
+func BenchmarkBuildBase7B(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		z := NewZoo(int64(i)+100, 0.06)
+		z.Base(Size7B)
+	}
+}

@@ -1,0 +1,32 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/lora"
+)
+
+// TestShapeAllDatasets is a diagnostic sweep (verbose-only): Jellyfish
+// few-shot FT vs KnowTrans across all 13 downstream datasets at small
+// scale, 1 repetition — the quick view of Table II's decisive columns.
+func TestShapeAllDatasets(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	z := zooForTest()
+	var jSum, kSum float64
+	for _, b := range z.Downstream() {
+		fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+"shape", 0), FewShotN)
+		seed := repSeed(z, b.Key()+"shape", 0)
+		jelly := z.Method(MethodJellyfish).Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: seed})
+		jScore := baselines.Evaluate(jelly, b.Kind, b.DS.Test)
+		kt := z.KnowTransMethod(Size7B, true, true, lora.StrategyAdaptive).
+			Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: seed})
+		kScore := baselines.Evaluate(kt, b.Kind, b.DS.Test)
+		jSum += jScore
+		kSum += kScore
+		t.Logf("%-20s jellyfish=%6.2f knowtrans=%6.2f  Δ=%+6.2f", b.Key(), jScore, kScore, kScore-jScore)
+	}
+	t.Logf("%-20s jellyfish=%6.2f knowtrans=%6.2f  Δ=%+6.2f", "AVERAGE", jSum/13, kSum/13, (kSum-jSum)/13)
+}

@@ -1,0 +1,39 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/lora"
+)
+
+// testZoo builds artifacts at a small scale shared by the eval tests.
+var sharedZoo *Zoo
+
+func zooForTest() *Zoo {
+	if sharedZoo == nil {
+		sharedZoo = NewZoo(1, 0.06)
+	}
+	return sharedZoo
+}
+
+// TestKnowTransBeatsJellyfishOnBeerED checks the headline effect on the
+// dataset with the strongest planted knowledge gap: ED/Beer.
+func TestKnowTransBeatsJellyfishOnBeerED(t *testing.T) {
+	z := zooForTest()
+	b := z.DownstreamByKey("ED/Beer")
+	fewshot := b.DS.FewShot(fewShotRNG(z, "smoke", 0), FewShotN)
+	seed := repSeed(z, "smoke", 0)
+
+	jelly := z.Method(MethodJellyfish).Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: seed})
+	jellyScore := baselines.Evaluate(jelly, b.Kind, b.DS.Test)
+
+	kt := z.KnowTransMethod(Size7B, true, true, lora.StrategyAdaptive).
+		Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: seed})
+	ktScore := baselines.Evaluate(kt, b.Kind, b.DS.Test)
+
+	t.Logf("Jellyfish=%.2f KnowTrans=%.2f", jellyScore, ktScore)
+	if ktScore <= jellyScore {
+		t.Fatalf("KnowTrans (%.2f) should beat plain few-shot Jellyfish (%.2f) on ED/Beer", ktScore, jellyScore)
+	}
+}

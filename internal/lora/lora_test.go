@@ -1,0 +1,158 @@
+package lora
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// hostLayers builds a tiny pair of adaptable layers.
+func hostLayers(rng *rand.Rand) (map[string]Layer, *nn.Dense, *nn.Embedding) {
+	d := nn.NewDense("d", 4, 6, rng)
+	e := nn.NewEmbedding("e", 32, 6, rng)
+	return map[string]Layer{"dense": d, "emb": e}, d, e
+}
+
+func TestAttachCoversAllLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layers, d, e := hostLayers(rng)
+	coef := &nn.Scalar{Val: 1}
+	p := Attach("p1", layers, Config{Rank: 2, Alpha: 1}, coef, rng)
+	if len(p.Attachments) != 2 {
+		t.Fatalf("patch should span 2 layers, got %d", len(p.Attachments))
+	}
+	if len(d.Patches) != 1 || len(e.Patches) != 1 {
+		t.Fatal("layers did not receive attachments")
+	}
+	if got := len(p.Params()); got != 4 {
+		t.Fatalf("expected 4 factor matrices, got %d", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	layers, _, _ := hostLayers(rng)
+	p := Attach("p", layers, Config{Rank: 2, Alpha: 1}, &nn.Scalar{Val: 1}, rng)
+	// Give the factors distinctive values.
+	for _, at := range p.Attachments {
+		at.A.W.FillGaussian(rng, 0.5)
+		at.B.W.FillGaussian(rng, 0.5)
+	}
+	blob, err := p.Export().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load into a second host with the same topology.
+	rng2 := rand.New(rand.NewSource(3))
+	layers2, _, _ := hostLayers(rng2)
+	p2 := Attach("p", layers2, Config{Rank: 2, Alpha: 1}, &nn.Scalar{Val: 1}, rng2)
+	if err := p2.Load(snap); err != nil {
+		t.Fatal(err)
+	}
+	for key, at := range p.Attachments {
+		at2 := p2.Attachments[key]
+		for i := range at.A.W.Data {
+			if at.A.W.Data[i] != at2.A.W.Data[i] {
+				t.Fatal("A factors differ after round trip")
+			}
+		}
+		for i := range at.B.W.Data {
+			if at.B.W.Data[i] != at2.B.W.Data[i] {
+				t.Fatal("B factors differ after round trip")
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	layers, _, _ := hostLayers(rng)
+	p := Attach("p", layers, Config{Rank: 2, Alpha: 1}, &nn.Scalar{Val: 1}, rng)
+	snap := p.Export()
+	// Different rank host.
+	layers2, _, _ := hostLayers(rand.New(rand.NewSource(5)))
+	p2 := Attach("p", layers2, Config{Rank: 3, Alpha: 1}, &nn.Scalar{Val: 1}, rng)
+	if err := p2.Load(snap); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	// Missing layer.
+	delete(snap.B, "dense")
+	delete(snap.A, "dense")
+	if err := p.Load(snap); err == nil {
+		t.Fatal("expected missing-layer error")
+	}
+}
+
+func TestSetFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	layers, _, _ := hostLayers(rng)
+	p := Attach("p", layers, Config{Rank: 2, Alpha: 1}, &nn.Scalar{Val: 1}, rng)
+	p.SetFrozen(true)
+	for _, at := range p.Attachments {
+		if !at.A.Frozen || !at.B.Frozen {
+			t.Fatal("SetFrozen(true) did not freeze factors")
+		}
+	}
+	p.SetFrozen(false)
+	for _, at := range p.Attachments {
+		if at.A.Frozen || at.B.Frozen {
+			t.Fatal("SetFrozen(false) did not unfreeze factors")
+		}
+	}
+}
+
+func TestFusionTrainableParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	layers, _, _ := hostLayers(rng)
+	l1 := &nn.Scalar{Name: "λ1", Val: 0.5}
+	l2 := &nn.Scalar{Name: "λ2", Val: 0.5, Frozen: true}
+	f := &Fusion{
+		Upstream: []*Patch{
+			Attach("u1", layers, Config{Rank: 2, Alpha: 1}, l1, rng),
+			Attach("u2", layers, Config{Rank: 2, Alpha: 1}, l2, rng),
+		},
+		Shared:  Attach("shared", layers, Config{Rank: 2, Alpha: 1}, &nn.Scalar{Val: 1, Frozen: true}, rng),
+		Lambdas: []*nn.Scalar{l1, l2},
+	}
+	ps := f.TrainableParams()
+	// 3 patches × 2 layers × 2 factors = 12 matrices; 1 unfrozen λ.
+	if len(ps.Mats) != 12 {
+		t.Fatalf("expected 12 factor matrices, got %d", len(ps.Mats))
+	}
+	if len(ps.Scalars) != 1 || ps.Scalars[0] != l1 {
+		t.Fatalf("expected only the unfrozen λ, got %d scalars", len(ps.Scalars))
+	}
+	w := f.Weights()
+	if len(w) != 2 || w[0] != 0.5 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestWeightStrategyString(t *testing.T) {
+	if StrategyAdaptive.String() != "adaptive" || StrategyUniform.String() != "uniform" || StrategySingle.String() != "single" {
+		t.Fatal("strategy names wrong")
+	}
+	if WeightStrategy(9).String() == "" {
+		t.Fatal("unknown strategy should still render")
+	}
+}
+
+func TestPatchNormGrowsWithTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	layers, _, _ := hostLayers(rng)
+	p := Attach("p", layers, Config{Rank: 2, Alpha: 1}, &nn.Scalar{Val: 1}, rng)
+	if p.Norm() != 0 {
+		t.Fatalf("fresh patch norm should be 0 (A=0), got %v", p.Norm())
+	}
+	for _, at := range p.Attachments {
+		at.A.W.FillGaussian(rng, 0.5)
+	}
+	if p.Norm() == 0 {
+		t.Fatal("non-zero factors should give non-zero norm")
+	}
+}

@@ -1,0 +1,62 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/tasks"
+)
+
+func TestTrainEmptyExamples(t *testing.T) {
+	m := New(tinyConfig())
+	ps := m.Params()
+	if loss := Train(m, nil, DefaultTrain(1), &ps); loss != 0 {
+		t.Fatalf("empty training should be a no-op, loss %v", loss)
+	}
+}
+
+func TestTrainBatchSizesEquivalentDirection(t *testing.T) {
+	// Different batch sizes take different optimization paths but both must
+	// learn the separable toy task.
+	for _, batch := range []int{1, 4, 16} {
+		m := New(tinyConfig())
+		tc := TrainConfig{Epochs: 6, LR: 0.05, Clip: 5, Seed: 7, BatchSize: batch}
+		ps := m.Params()
+		Train(m, ExamplesFrom(tasks.ED, toyED(60, 3), nil), tc, &ps)
+		score := m.Evaluate(tasks.SpecFor(tasks.ED), toyED(40, 4), nil)
+		if score < 90 {
+			t.Fatalf("batch=%d failed to learn: %v", batch, score)
+		}
+	}
+}
+
+func TestTrainDeterministicGivenSeed(t *testing.T) {
+	run := func() *Snapshot {
+		m := New(tinyConfig())
+		tc := TrainConfig{Epochs: 3, LR: 0.02, Clip: 5, Seed: 11, BatchSize: 4}
+		ps := m.Params()
+		Train(m, ExamplesFrom(tasks.ED, toyED(50, 5), nil), tc, &ps)
+		return m.Export()
+	}
+	a, b := run(), run()
+	for name, w := range a.Mats {
+		for i := range w {
+			if b.Mats[name][i] != w[i] {
+				t.Fatalf("training nondeterministic at %s[%d]", name, i)
+			}
+		}
+	}
+	if a.Trust != b.Trust {
+		t.Fatal("trust nondeterministic")
+	}
+}
+
+func TestTrainReportsDecreasingLoss(t *testing.T) {
+	m := New(tinyConfig())
+	examples := ExamplesFrom(tasks.ED, toyED(60, 6), nil)
+	ps := m.Params()
+	first := Train(m, examples, TrainConfig{Epochs: 1, LR: 0.03, Clip: 5, Seed: 2, BatchSize: 4}, &ps)
+	later := Train(m, examples, TrainConfig{Epochs: 4, LR: 0.03, Clip: 5, Seed: 3, BatchSize: 4}, &ps)
+	if later >= first {
+		t.Fatalf("continued training should reduce loss: %v -> %v", first, later)
+	}
+}

@@ -1,0 +1,290 @@
+// Package nn is the neural substrate of the reproduction: parameters,
+// layers with explicit Forward/Backward passes, LoRA attachments, and
+// optimizers. It replaces the PyTorch + PEFT stack the paper uses.
+//
+// Design notes:
+//
+//   - Layers are stateful: Forward caches the activations Backward needs, so
+//     a layer instance must be used by one goroutine at a time.
+//   - LoRA patches are never materialized; ΔW·x is computed as B(Ax), which
+//     is what makes dozens of per-dataset patches affordable (Section V-A).
+//   - Fusion coefficients λ (Eq. 4) are Scalars shared across layers: every
+//     layer carrying patch i contributes to the same λᵢ gradient, exactly as
+//     a single interpolation weight per upstream patch in the paper.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable matrix with its gradient and Adam moments.
+//
+// Parameters whose gradients touch only a few rows per step (embedding
+// tables and their LoRA B factors — the rows of the active input features)
+// opt into sparse-row tracking via TrackRows: Backward records touched rows
+// with TouchRow, and ZeroGrad / gradient norms / Adam then visit only those
+// rows. This is the standard "sparse Adam" approximation (moments of
+// untouched rows do not decay on steps that skip them).
+type Param struct {
+	Name   string
+	W      *tensor.Mat
+	G      *tensor.Mat
+	Frozen bool
+
+	m, v *tensor.Mat // Adam first/second moments, allocated lazily
+
+	rows map[int32]struct{} // touched-row set; nil = dense gradients
+}
+
+// NewParam allocates a zero-initialized parameter.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		W:    tensor.NewMat(rows, cols),
+		G:    tensor.NewMat(rows, cols),
+	}
+}
+
+// TrackRows switches the parameter to sparse-row gradient tracking.
+func (p *Param) TrackRows() {
+	if p.rows == nil {
+		p.rows = make(map[int32]struct{})
+	}
+}
+
+// TouchRow records that row r received gradient this step. It is a no-op
+// for dense parameters.
+func (p *Param) TouchRow(r int) {
+	if p.rows != nil {
+		p.rows[int32(r)] = struct{}{}
+	}
+}
+
+// ZeroGrad clears the accumulated gradient (only the touched rows for
+// sparse-tracked parameters).
+func (p *Param) ZeroGrad() {
+	if p.rows != nil {
+		for r := range p.rows {
+			p.G.Row(int(r)).Zero()
+		}
+		clear(p.rows)
+		return
+	}
+	p.G.Zero()
+}
+
+// touchedRows returns the touched-row indices in sorted order. Sorted
+// iteration keeps floating-point reductions (gradient norms) bit-identical
+// across runs; map order would make training non-reproducible.
+func (p *Param) touchedRows() []int32 {
+	rows := make([]int32, 0, len(p.rows))
+	for r := range p.rows {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// gradRows invokes f on every row slice of G that may hold gradient, in a
+// deterministic order.
+func (p *Param) gradRows(f func(row tensor.Vec)) {
+	if p.rows != nil {
+		for _, r := range p.touchedRows() {
+			f(p.G.Row(int(r)))
+		}
+		return
+	}
+	f(tensor.Vec(p.G.Data))
+}
+
+// NumParams returns the number of scalar parameters in p.
+func (p *Param) NumParams() int { return len(p.W.Data) }
+
+// Scalar is a single trainable value, used for the fusion weights λ.
+type Scalar struct {
+	Name   string
+	Val    float64
+	Grad   float64
+	Frozen bool
+
+	m, v float64 // Adam moments
+}
+
+// ZeroGrad clears the scalar gradient.
+func (s *Scalar) ZeroGrad() { s.Grad = 0 }
+
+// ParamSet is the collection of everything an optimizer updates.
+type ParamSet struct {
+	Mats    []*Param
+	Scalars []*Scalar
+}
+
+// Add appends matrix parameters.
+func (ps *ParamSet) Add(params ...*Param) { ps.Mats = append(ps.Mats, params...) }
+
+// AddScalar appends scalar parameters.
+func (ps *ParamSet) AddScalar(scalars ...*Scalar) { ps.Scalars = append(ps.Scalars, scalars...) }
+
+// Merge appends everything in other.
+func (ps *ParamSet) Merge(other ParamSet) {
+	ps.Mats = append(ps.Mats, other.Mats...)
+	ps.Scalars = append(ps.Scalars, other.Scalars...)
+}
+
+// ZeroGrad clears all gradients.
+func (ps *ParamSet) ZeroGrad() {
+	for _, p := range ps.Mats {
+		p.ZeroGrad()
+	}
+	for _, s := range ps.Scalars {
+		s.ZeroGrad()
+	}
+}
+
+// GradNorm returns the global Euclidean norm of all non-frozen gradients.
+func (ps *ParamSet) GradNorm() float64 {
+	var t float64
+	for _, p := range ps.Mats {
+		if p.Frozen {
+			continue
+		}
+		p.gradRows(func(row tensor.Vec) {
+			for _, g := range row {
+				t += g * g
+			}
+		})
+	}
+	for _, s := range ps.Scalars {
+		if s.Frozen {
+			continue
+		}
+		t += s.Grad * s.Grad
+	}
+	return math.Sqrt(t)
+}
+
+// ClipGradNorm rescales all gradients so the global norm is at most max.
+// It returns the pre-clip norm.
+func (ps *ParamSet) ClipGradNorm(max float64) float64 {
+	n := ps.GradNorm()
+	if n <= max || n == 0 {
+		return n
+	}
+	scale := max / n
+	for _, p := range ps.Mats {
+		if p.Frozen {
+			continue
+		}
+		p.gradRows(func(row tensor.Vec) {
+			for i := range row {
+				row[i] *= scale
+			}
+		})
+	}
+	for _, s := range ps.Scalars {
+		if !s.Frozen {
+			s.Grad *= scale
+		}
+	}
+	return n
+}
+
+// NumParams returns the total number of trainable scalars (frozen excluded).
+func (ps *ParamSet) NumParams() int {
+	n := 0
+	for _, p := range ps.Mats {
+		if !p.Frozen {
+			n += p.NumParams()
+		}
+	}
+	for _, s := range ps.Scalars {
+		if !s.Frozen {
+			n++
+		}
+	}
+	return n
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with optional weight decay,
+// matching the fine-tuning recipe in Section VII-A.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	step int
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to every non-frozen parameter and clears nothing;
+// call ParamSet.ZeroGrad before the next backward pass.
+func (a *Adam) Step(ps *ParamSet) {
+	a.step++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range ps.Mats {
+		if p.Frozen {
+			continue
+		}
+		if p.m == nil {
+			p.m = tensor.NewMat(p.W.Rows, p.W.Cols)
+			p.v = tensor.NewMat(p.W.Rows, p.W.Cols)
+		}
+		update := func(g, w, m, v []float64) {
+			for i := range g {
+				gi := g[i]
+				if a.WeightDecay != 0 {
+					gi += a.WeightDecay * w[i]
+				}
+				m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+				v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+				mh := m[i] / b1c
+				vh := v[i] / b2c
+				w[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			}
+		}
+		if p.rows != nil {
+			// Sparse-Adam: only rows touched since the last ZeroGrad carry
+			// gradient; untouched rows are skipped (their moments freeze).
+			cols := p.W.Cols
+			for _, r := range p.touchedRows() {
+				off := int(r) * cols
+				update(p.G.Data[off:off+cols], p.W.Data[off:off+cols],
+					p.m.Data[off:off+cols], p.v.Data[off:off+cols])
+			}
+			continue
+		}
+		update(p.G.Data, p.W.Data, p.m.Data, p.v.Data)
+	}
+	for _, s := range ps.Scalars {
+		if s.Frozen {
+			continue
+		}
+		g := s.Grad
+		s.m = a.Beta1*s.m + (1-a.Beta1)*g
+		s.v = a.Beta2*s.v + (1-a.Beta2)*g*g
+		mh := s.m / b1c
+		vh := s.v / b2c
+		s.Val -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+	}
+}
+
+// Reset clears the optimizer step counter and is used when the same
+// parameters go through a second training phase.
+func (a *Adam) Reset() { a.step = 0 }
+
+func checkLen(what string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("nn: %s length %d, want %d", what, got, want))
+	}
+}

@@ -1,0 +1,223 @@
+package oracle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/akb"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/tasks"
+)
+
+func TestInduceEDFindsPercentRule(t *testing.T) {
+	b := datagen.ByKey("ED/Beer", 1, 0.05)
+	examples := b.DS.Train[:60]
+	ind := induceED(examples)
+	var found bool
+	for _, s := range ind.rules {
+		r := s.rule
+		if r.Target == "abv" && r.Cond.Pred == tasks.PredFormat && r.Cond.Arg == tasks.FormatPercent &&
+			r.Answer.Literal == tasks.AnswerYes {
+			found = true
+			if r.Weight < 0.9 {
+				t.Fatalf("percent rule should be near-perfect, weight %v", r.Weight)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("induction missed the ABV-percent rule")
+	}
+}
+
+func TestInduceEDRespectsCleanAbbreviations(t *testing.T) {
+	// The induced city rules must not be so aggressive they flag every
+	// benign abbreviation: precision filtering should keep only rules that
+	// are right on the examples.
+	b := datagen.ByKey("ED/Beer", 2, 0.1)
+	ind := induceED(b.DS.Train[:150])
+	for _, s := range ind.rules {
+		if s.precision() < 0.75 {
+			t.Fatalf("kept rule with precision %v: %+v", s.precision(), s.rule)
+		}
+	}
+}
+
+func TestInduceDCFindsTransforms(t *testing.T) {
+	b := datagen.ByKey("DC/Rayyan", 3, 0.05)
+	ind := induceDC(b.DS.Train[:80])
+	var hasDate, hasMissing bool
+	for _, s := range ind.rules {
+		if s.rule.Answer.Transform == tasks.TransformDateISO {
+			hasDate = true
+		}
+		if s.rule.Answer.Literal == "-1" && s.rule.Cond.Pred == tasks.PredMissing {
+			hasMissing = true
+		}
+	}
+	if !hasDate {
+		t.Fatal("induction missed the date-ISO repair rule")
+	}
+	if !hasMissing {
+		t.Fatal("induction missed the missing→-1 convention")
+	}
+}
+
+func TestInduceEMFindsModelTokenSignal(t *testing.T) {
+	b := datagen.ByKey("EM/Walmart-Amazon", 4, 0.05)
+	ind := inducePair(tasks.EM, b.DS.Train[:120])
+	var shared bool
+	for _, s := range ind.rules {
+		if s.rule.Cond.Pred == tasks.PredSharedModelToken && s.rule.Answer.Literal == tasks.AnswerYes {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Fatal("induction missed the shared-model-token rule")
+	}
+}
+
+func TestInduceExtractFindsFirstWordRule(t *testing.T) {
+	b := datagen.ByKey("DI/Phone", 5, 0.05)
+	ind := induceExtract(b.DS.Train[:60])
+	var firstWord bool
+	for _, s := range ind.rules {
+		if s.rule.Answer.Transform == tasks.TransformFirstWord && s.rule.Answer.Arg == "product_name" {
+			firstWord = true
+		}
+	}
+	if !firstWord {
+		t.Fatal("induction missed the brand-is-first-word rule")
+	}
+}
+
+func TestInduceCTAFindsPatternRules(t *testing.T) {
+	b := datagen.ByKey("CTA/SOTAB", 6, 1)
+	ind := induceCTA(b.DS.Train[:120])
+	if len(ind.rules) == 0 {
+		t.Fatal("CTA induction found nothing")
+	}
+	var schemaRule bool
+	for _, s := range ind.rules {
+		if s.rule.Cond.Pred == tasks.PredContains && strings.Contains(s.rule.Cond.Arg, "schema.org") {
+			schemaRule = true
+		}
+	}
+	if !schemaRule {
+		t.Fatal("induction missed the schema.org URL pattern")
+	}
+}
+
+func TestGeneratePoolSizeAndDiversity(t *testing.T) {
+	b := datagen.ByKey("ED/Beer", 7, 0.05)
+	// Use a stratified few-shot sample, as the AKB pipeline does: an
+	// unstratified slice of a 28%-positive stream may contain almost no
+	// positives, leaving nothing to induce from.
+	fewshot := b.DS.FewShot(rand.New(rand.NewSource(1)), 20)
+	g := New(9)
+	pool := g.Generate(akb.GenerateRequest{Kind: tasks.ED, Examples: fewshot, PoolSize: 4})
+	if len(pool) != 4 {
+		t.Fatalf("pool size %d, want 4", len(pool))
+	}
+	// At temperature 0.9 the samples should not all be identical.
+	first := tasks.RenderKnowledgeText(pool[0])
+	diverse := false
+	for _, k := range pool[1:] {
+		if tasks.RenderKnowledgeText(k) != first {
+			diverse = true
+		}
+	}
+	if !diverse {
+		t.Fatal("high-temperature pool has no diversity")
+	}
+	if g.Tokens.Input == 0 || g.Tokens.Output == 0 || g.Tokens.Calls == 0 {
+		t.Fatal("oracle calls must be metered")
+	}
+}
+
+func TestZeroTemperatureIsDeterministicBestEffort(t *testing.T) {
+	b := datagen.ByKey("ED/Beer", 8, 0.05)
+	fewshot := b.DS.FewShot(rand.New(rand.NewSource(2)), 20)
+	g1 := NewWithTemperature(1, 0)
+	g2 := NewWithTemperature(2, 0)
+	p1 := g1.Generate(akb.GenerateRequest{Kind: tasks.ED, Examples: fewshot, PoolSize: 2})
+	p2 := g2.Generate(akb.GenerateRequest{Kind: tasks.ED, Examples: fewshot, PoolSize: 2})
+	if tasks.RenderKnowledgeText(p1[0]) != tasks.RenderKnowledgeText(p2[0]) {
+		t.Fatal("temperature 0 should be seed-independent for the first sample")
+	}
+}
+
+func TestFeedbackMentionsErrors(t *testing.T) {
+	g := New(3)
+	in := &data.Instance{
+		Fields:     []data.Field{{Name: "abv", Value: "0.05%"}},
+		Target:     "abv",
+		Candidates: []string{tasks.AnswerYes, tasks.AnswerNo},
+		Gold:       0,
+	}
+	fb := g.Feedback(akb.FeedbackRequest{
+		Kind:      tasks.ED,
+		Knowledge: &tasks.Knowledge{},
+		Errors:    []akb.ErrorCase{{Instance: in, Predicted: tasks.AnswerNo}},
+	})
+	for _, want := range []string{"Wrong example", "abv", "0.05%", "improve"} {
+		if !strings.Contains(fb, want) {
+			t.Fatalf("feedback missing %q:\n%s", want, fb)
+		}
+	}
+}
+
+func TestRefineDropsMisfiringRules(t *testing.T) {
+	g := NewWithTemperature(4, 0)
+	// A rule that actively causes the observed errors: says percent → NO.
+	bad := tasks.Rule{
+		Cond:   tasks.Condition{Pred: tasks.PredFormat, Arg: tasks.FormatPercent},
+		Answer: tasks.Answer{Literal: tasks.AnswerNo},
+		Weight: 1,
+	}
+	in1 := &data.Instance{
+		Fields:     []data.Field{{Name: "abv", Value: "0.05%"}},
+		Target:     "abv",
+		Candidates: []string{tasks.AnswerYes, tasks.AnswerNo},
+		Gold:       0,
+	}
+	in2 := in1.Clone()
+	in2.Fields[0].Value = "0.08%"
+	errs := []akb.ErrorCase{
+		{Instance: in1, Predicted: tasks.AnswerNo},
+		{Instance: in2, Predicted: tasks.AnswerNo},
+	}
+	out := g.Refine(akb.RefineRequest{
+		Kind:      tasks.ED,
+		Knowledge: &tasks.Knowledge{Rules: []tasks.Rule{bad}},
+		Errors:    errs,
+		Feedback:  "the percent rule is backwards",
+	})
+	if len(out) == 0 {
+		t.Fatal("refine returned nothing")
+	}
+	for _, r := range out[0].Rules {
+		if r.Cond.Pred == tasks.PredFormat && r.Cond.Arg == tasks.FormatPercent && r.Answer.Literal == tasks.AnswerNo {
+			t.Fatal("misfiring rule survived refinement")
+		}
+	}
+}
+
+func TestPromptTemplatesRender(t *testing.T) {
+	b := datagen.ByKey("ED/Beer", 10, 0.05)
+	gen := renderGeneratePrompt(akb.GenerateRequest{Kind: tasks.ED, Examples: b.DS.Train[:3]})
+	if !strings.Contains(gen, "[KNOWLEDGE]") || !strings.Contains(gen, "Input 1:") {
+		t.Fatalf("generation prompt malformed:\n%s", gen)
+	}
+	fb := renderFeedbackPrompt(akb.FeedbackRequest{Knowledge: &tasks.Knowledge{Text: "k"},
+		Errors: []akb.ErrorCase{{Instance: b.DS.Train[0], Predicted: "no"}}})
+	if !strings.Contains(fb, "Wrong example <1>") {
+		t.Fatalf("feedback prompt malformed:\n%s", fb)
+	}
+	ref := renderRefinePrompt(akb.RefineRequest{Knowledge: &tasks.Knowledge{Text: "k"},
+		Trajectory: []*tasks.Knowledge{{Text: "old"}}, Feedback: "fb"})
+	if !strings.Contains(ref, "former prompts") || !strings.Contains(ref, "[\\KNOWLEDGE]") {
+		t.Fatalf("refine prompt malformed:\n%s", ref)
+	}
+}

@@ -1,0 +1,92 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/akb"
+	"repro/internal/data"
+	"repro/internal/tasks"
+)
+
+// The three prompt templates of Fig. 3 / Listings 2–4, rendered verbatim so
+// the simulated oracle's metered token counts reflect what a real GPT-4o
+// call would cost. The simulated engine does not parse these strings — its
+// inputs arrive structured — but every call renders and meters them.
+
+const generateTemplate = `You are a prompt generation assistant. Your task is to complete the '[KNOWLEDGE]' section of a given prompt template based on the provided 'Input' and 'Output' pairs.
+
+### Task Template:
+[TASK_DESP] %s
+[KNOWLEDGE] {knowledge}
+[INPUT] {input}
+[QUESTION] %s
+
+### Example:
+%s
+Generate only the '[KNOWLEDGE]' part of the template, ensuring it accurately reflects the relationship demonstrated by the 'Input' and 'Output' pairs.`
+
+// renderGeneratePrompt fills Listing 2 with the seed prompt and the sampled
+// demonstrations.
+func renderGeneratePrompt(req akb.GenerateRequest) string {
+	spec := tasks.SpecFor(req.Kind)
+	var ex strings.Builder
+	for i, in := range req.Examples {
+		fmt.Fprintf(&ex, "Input %d: %s\nOutput %d: %s\n", i+1, data.RenderRecord(in.Fields), i+1, in.GoldText())
+	}
+	return fmt.Sprintf(generateTemplate, spec.Description, spec.Question, ex.String())
+}
+
+const feedbackTemplate = `I'm writing prompts for a language model designed for a task. My current prompt is:
+%s
+But this prompt gets the following examples wrong:
+%s
+For each wrong example, carefully examine each question and wrong answer step by step, provide comprehensive and different reasons why the prompt leads to the wrong answer. At last, based on all these reasons, summarize and list all the aspects that can improve the prompt.`
+
+// renderFeedbackPrompt fills Listing 3 with the current knowledge and the
+// sampled error cases.
+func renderFeedbackPrompt(req akb.FeedbackRequest) string {
+	return fmt.Sprintf(feedbackTemplate,
+		tasks.RenderKnowledgeText(req.Knowledge),
+		renderErrors(req.Errors))
+}
+
+const refineTemplate = `I'm writing prompts for a language model designed for data preparation task. My current prompt is:
+%s
+But this prompt gets the following examples wrong:
+%s
+Based on these errors, the problems with this prompt and the reasons are:
+%s
+There is a list of former prompts including the current prompt, and each prompt is modified from its former prompts:
+%s
+Based on the above information, please write a new [KNOWLEDGE] following these guidelines:
+1. The new [KNOWLEDGE] should solve the current prompt's problems.
+2. The new [KNOWLEDGE] should evolve based on the current prompt.
+3. Each new [KNOWLEDGE] should be wrapped with [KNOWLEDGE] and [\KNOWLEDGE].
+The new prompt is:`
+
+// renderRefinePrompt fills Listing 4 with the knowledge, errors, feedback,
+// and the optimization trajectory (Eq. 11).
+func renderRefinePrompt(req akb.RefineRequest) string {
+	var traj strings.Builder
+	for i, k := range req.Trajectory {
+		if k == nil {
+			continue
+		}
+		fmt.Fprintf(&traj, "<%d> %s\n", i, tasks.RenderKnowledgeText(k))
+	}
+	return fmt.Sprintf(refineTemplate,
+		tasks.RenderKnowledgeText(req.Knowledge),
+		renderErrors(req.Errors),
+		req.Feedback,
+		traj.String())
+}
+
+func renderErrors(errs []akb.ErrorCase) string {
+	var sb strings.Builder
+	for i, e := range errs {
+		fmt.Fprintf(&sb, "### Wrong example <%d>:\nThe model's input is: %s\nThe model's response is: %s\nThe correct label is: %s\n",
+			i+1, data.RenderRecord(e.Instance.Fields), e.Predicted, e.Instance.GoldText())
+	}
+	return sb.String()
+}

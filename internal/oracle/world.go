@@ -1,0 +1,102 @@
+package oracle
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/datagen"
+)
+
+// worldLexicon is the oracle's world knowledge: categories of known surface
+// forms (city names, beer styles, brands, ...). A real GPT-4o recognizes
+// entity spellings from pretraining; the simulated oracle gets the same
+// ability from these lists. See datagen.WorldLexicon.
+var worldLexicon = datagen.WorldLexicon()
+
+// expandDict widens an observed clean-value dictionary with the world
+// lexicon: when most observed values belong to a known category, the whole
+// category's spellings become part of the dictionary — "verify the
+// correctness of spelling using a reference list", as the paper's searched
+// Beer knowledge puts it.
+func expandDict(observed []string) []string {
+	if len(observed) == 0 {
+		return observed
+	}
+	lower := map[string]bool{}
+	for _, v := range observed {
+		lower[strings.ToLower(strings.TrimSpace(v))] = true
+	}
+	best, bestHit := "", 0
+	for cat, entries := range worldLexicon {
+		hit := 0
+		for _, e := range entries {
+			if lower[strings.ToLower(e)] {
+				hit++
+			}
+		}
+		if hit > bestHit {
+			best, bestHit = cat, hit
+		}
+	}
+	// Adopt the category when it explains most of what we observed.
+	if best == "" || float64(bestHit) < 0.6*float64(len(observed)) {
+		return observed
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(v string) {
+		lv := strings.ToLower(v)
+		if v == "" || seen[lv] {
+			return
+		}
+		seen[lv] = true
+		out = append(out, v)
+	}
+	for _, v := range observed {
+		add(v)
+	}
+	for _, e := range worldLexicon[best] {
+		add(e)
+	}
+	return out
+}
+
+// numericRange infers a plausible value range from clean numeric samples,
+// widened the way an analyst would round outward.
+func numericRange(clean []string) (string, bool) {
+	var lo, hi float64
+	n := 0
+	for _, v := range clean {
+		x, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(v, "%")), 64)
+		if err != nil {
+			continue
+		}
+		if n == 0 || x < lo {
+			lo = x
+		}
+		if n == 0 || x > hi {
+			hi = x
+		}
+		n++
+	}
+	if n < 3 {
+		return "", false
+	}
+	// Widen: halve the lower bound, double the upper (orders of magnitude
+	// out of this window are what the Beer knowledge calls unrealistic).
+	lo = lo / 2
+	hi = hi * 2
+	if hi == 0 {
+		hi = 1
+	}
+	return strconv.FormatFloat(lo, 'g', 6, 64) + ".." + strconv.FormatFloat(hi, 'g', 6, 64), true
+}
+
+// dictArg joins a dictionary for a rule argument, capped so prompts stay
+// bounded.
+func dictArg(dict []string) string {
+	if len(dict) > 400 {
+		dict = dict[:400]
+	}
+	return strings.Join(dict, ",")
+}

@@ -1,0 +1,150 @@
+// Package skc implements Selective Knowledge Concentration (Section V,
+// Algorithm 1): the training-time component of KnowTrans.
+//
+// Stage 1 — Upstream knowledge patch extraction: for every upstream dataset,
+// fine-tune a LoRA patch on the *base* model (not the upstream DP-LLM, which
+// has already absorbed the data — Section V-A's cross-model low-rank
+// parameterization, Eq. 2–3) with the backbone frozen.
+//
+// Stage 2 — Dynamic knowledge patch fusion: attach the extracted patches to
+// the upstream DP-LLM weighted by trainable interpolation weights λ, plus a
+// fresh shared patch ΔW_{N+1} at weight 1 (Eq. 4).
+//
+// Stage 3 — Few-shot fine-tuning: with the backbone fixed, train only the
+// patch factors and λ on the few-shot downstream data (Eq. 5).
+package skc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lora"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+// Source is one upstream dataset prepared for patch extraction.
+type Source struct {
+	Name     string
+	Examples []model.TrainExample
+}
+
+// NamedSnapshot is an extracted, serializable knowledge patch.
+type NamedSnapshot struct {
+	Name string
+	Snap *lora.Snapshot
+}
+
+// Options configures the SKC pipeline. Zero values take defaults mirroring
+// Section VII-A (LoRA rank scaled to the substrate, 3 epochs, lr 6e-5 scaled
+// up for the small model).
+type Options struct {
+	Patch      lora.Config
+	PatchTrain model.TrainConfig
+	FewShot    model.TrainConfig
+	Strategy   lora.WeightStrategy
+	Seed       int64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Patch.Rank == 0 {
+		o.Patch = lora.DefaultConfig()
+	}
+	if o.PatchTrain.Epochs == 0 {
+		o.PatchTrain = model.TrainConfig{Epochs: 2, LR: 0.02, Clip: 5, Seed: o.Seed + 1}
+	}
+	if o.FewShot.Epochs == 0 {
+		// Gentle few-shot fine-tuning: even rank-constrained patches can
+		// memorize 20 examples if trained long, which trades upstream
+		// calibration for training-set fit.
+		o.FewShot = model.TrainConfig{Epochs: 6, LR: 0.01, Clip: 5, Seed: o.Seed + 2, WeightDecay: 3e-4, BatchSize: 4}
+	}
+	// Strategy's zero value is StrategyAdaptive — SKC proper.
+	return o
+}
+
+// ExtractPatches runs Stage 1: one LoRA patch per upstream source, trained
+// on a clone of the base model with the backbone and trust frozen. The base
+// model is left untouched.
+func ExtractPatches(base *model.Model, sources []Source, opts Options) []*NamedSnapshot {
+	opts = opts.withDefaults()
+	out := make([]*NamedSnapshot, 0, len(sources))
+	for i, src := range sources {
+		host := base.Clone()
+		host.SetBaseFrozen(true)
+		host.Trust.Frozen = true
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)*31 + 17))
+		coef := &nn.Scalar{Name: "extract", Val: 1, Frozen: true}
+		patch := lora.Attach(src.Name, host.LoraLayers(), opts.Patch, coef, rng)
+		var ps nn.ParamSet
+		ps.Add(patch.Params()...)
+		tc := opts.PatchTrain
+		tc.Seed = opts.Seed + int64(i)*131
+		model.Train(host, src.Examples, tc, &ps)
+		out = append(out, &NamedSnapshot{Name: src.Name, Snap: patch.Export()})
+	}
+	return out
+}
+
+// Transferred is the outcome of SKC: the adapted model and its fusion
+// module (for inspecting λ).
+type Transferred struct {
+	Model  *model.Model
+	Fusion *lora.Fusion
+}
+
+// BuildFusion runs Stage 2: it clones the upstream model, attaches every
+// extracted patch under the configured weight strategy plus the fresh shared
+// patch, and returns the fused model ready for few-shot fine-tuning.
+func BuildFusion(upstream *model.Model, snaps []*NamedSnapshot, opts Options) (*Transferred, error) {
+	opts = opts.withDefaults()
+	m := upstream.Clone()
+	m.SetBaseFrozen(true)
+	m.Trust.Frozen = true
+	rng := rand.New(rand.NewSource(opts.Seed + 911))
+	fusion := &lora.Fusion{}
+
+	if opts.Strategy != lora.StrategySingle {
+		n := len(snaps)
+		for _, ns := range snaps {
+			coef := &nn.Scalar{Name: "λ/" + ns.Name, Val: 1 / float64(n)}
+			if opts.Strategy == lora.StrategyUniform {
+				coef.Frozen = true
+			}
+			p := lora.Attach(ns.Name, m.LoraLayers(), opts.Patch, coef, rng)
+			if err := p.Load(ns.Snap); err != nil {
+				return nil, fmt.Errorf("skc: loading patch %q: %w", ns.Name, err)
+			}
+			fusion.Upstream = append(fusion.Upstream, p)
+			fusion.Lambdas = append(fusion.Lambdas, coef)
+		}
+	}
+	shared := lora.Attach("shared", m.LoraLayers(), opts.Patch,
+		&nn.Scalar{Name: "λ/shared", Val: 1, Frozen: true}, rng)
+	fusion.Shared = shared
+	return &Transferred{Model: m, Fusion: fusion}, nil
+}
+
+// FewShotFineTune runs Stage 3 on a fused model: only patch factors and
+// (for the adaptive strategy) λ are trainable; the backbone stays fixed.
+// It returns the final mean loss.
+func FewShotFineTune(tr *Transferred, examples []model.TrainExample, opts Options) float64 {
+	opts = opts.withDefaults()
+	ps := tr.Fusion.TrainableParams()
+	return model.Train(tr.Model, examples, opts.FewShot, &ps)
+}
+
+// Transfer is the one-call SKC pipeline of Algorithm 1: extract (or reuse
+// pre-extracted) patches, fuse, and few-shot fine-tune. snaps may come from
+// a previous ExtractPatches run — extraction is independent of the
+// downstream dataset and is meant to be done once and reused, exactly like
+// the paper's patch library.
+func Transfer(upstream *model.Model, snaps []*NamedSnapshot, fewshot []model.TrainExample, opts Options) (*Transferred, error) {
+	tr, err := BuildFusion(upstream, snaps, opts)
+	if err != nil {
+		return nil, err
+	}
+	FewShotFineTune(tr, fewshot, opts)
+	return tr, nil
+}
