@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,17 +21,21 @@ import (
 // Artifacts layout: upstream-7B.gob (model snapshot) plus one
 // patch-<task>-<dataset>.gob per upstream dataset.
 func runBuild(args []string) {
-	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	fs := newFlagSet("build")
 	dir := fs.String("artifacts", "./artifacts", "output directory")
 	scale := fs.Float64("scale", 0.15, "dataset scale")
 	seed := fs.Int64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+	of := addObsFlags(fs)
+	parseOrExit(fs, args)
+	rec, finish, err := of.setup()
+	if err != nil {
+		fatal(err)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fatal(err)
 	}
 	z := eval.NewZoo(*seed, *scale)
+	z.Rec = rec
 	fmt.Println("training upstream DP-LLM (base pretraining + multi-task SFT)...")
 	up := z.Upstream(eval.Size7B)
 	blob, err := up.Export().Encode()
@@ -57,6 +60,9 @@ func runBuild(args []string) {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d KiB)\n", p, len(blob)/1024)
+	}
+	if err := finish(); err != nil {
+		fatal(err)
 	}
 }
 

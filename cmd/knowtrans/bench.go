@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"repro/internal/eval"
+)
+
+// BenchExperiment is the machine-readable record of one experiment run,
+// the unit of the repository's bench trajectory (BENCH_run.json).
+type BenchExperiment struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Scale       float64 `json:"scale"`
+	Reps        int     `json:"reps"`
+	Seed        int64   `json:"seed"`
+	Rows        int     `json:"rows"`
+	// Metrics holds the per-column averages of the rendered table — the
+	// headline numbers (method scores, costs, round curves) in a form a
+	// tracking script can diff across runs without parsing tables.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchRun is the top-level BENCH_run.json document.
+type BenchRun struct {
+	SchemaVersion int               `json:"schema_version"`
+	GeneratedAt   string            `json:"generated_at"`
+	Experiments   []BenchExperiment `json:"experiments"`
+	TotalSeconds  float64           `json:"total_wall_seconds"`
+}
+
+// benchRecord summarizes one finished experiment table.
+func benchRecord(t *eval.Table, wall time.Duration, scale float64, reps int, seed int64) BenchExperiment {
+	be := BenchExperiment{
+		ID:          t.ID,
+		Title:       t.Title,
+		WallSeconds: wall.Seconds(),
+		Scale:       scale,
+		Reps:        reps,
+		Seed:        seed,
+		Metrics:     map[string]float64{},
+	}
+	for _, r := range t.Rows {
+		if !r.IsAverage {
+			be.Rows++
+		}
+	}
+	for _, c := range t.Columns {
+		be.Metrics[c] = t.Average(c)
+	}
+	return be
+}
+
+// writeBenchRun writes the run record as indented JSON.
+func writeBenchRun(path string, run *BenchRun) error {
+	run.SchemaVersion = 1
+	run.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	var total float64
+	for _, e := range run.Experiments {
+		total += e.WallSeconds
+	}
+	run.TotalSeconds = total
+	blob, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -12,6 +12,12 @@
 //
 // Experiment ids: table1 table2 table3 table4 table5 table6 table7 fig4
 // fig5 fig6 fig7 (see DESIGN.md for the mapping to the paper).
+//
+// Every subcommand accepts the observability flags -trace FILE.jsonl,
+// -metrics FILE.json, and -pprof ADDR (see internal/obs and the
+// "Observability" section of DESIGN.md). `knowtrans experiment` also
+// writes a machine-readable BENCH_run.json run record (-bench to rename,
+// -bench "" to disable).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/baselines"
@@ -46,6 +53,7 @@ func main() {
 	case "transfer":
 		runTransfer(os.Args[2:])
 	default:
+		fmt.Fprintf(os.Stderr, "knowtrans: unknown command %q\n", os.Args[1])
 		usage()
 		os.Exit(2)
 	}
@@ -54,56 +62,108 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   knowtrans list
-  knowtrans experiment <id|all> [-scale S] [-reps N] [-seed K]
-  knowtrans build [-artifacts DIR] [-scale S] [-seed K]
-  knowtrans transfer -dataset <task/name> [-artifacts DIR] [-scale S] [-seed K]`)
+  knowtrans experiment <id|all> [-scale S] [-reps N] [-seed K] [-bench FILE.json] [obs flags]
+  knowtrans build [-artifacts DIR] [-scale S] [-seed K] [obs flags]
+  knowtrans transfer -dataset <task/name> [-artifacts DIR] [-scale S] [-seed K] [obs flags]
+
+observability flags (any subcommand):
+  -trace FILE.jsonl   write a span trace (Transfer → SKC stages → AKB iterations)
+  -metrics FILE.json  write counters/gauges/latency histograms at exit
+  -pprof ADDR         serve net/http/pprof on ADDR while the run executes`)
+}
+
+// newFlagSet returns a flag set that reports parse errors to the caller
+// instead of exiting behind its back (flag.ExitOnError made the error
+// branches below unreachable and skipped the usage text).
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// parseOrExit parses args, printing the subcommand's defaults plus the
+// global usage and exiting 2 on error.
+func parseOrExit(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		usage()
+		os.Exit(2)
+	}
 }
 
 func runExperiment(args []string) {
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	fs := newFlagSet("experiment")
 	scale := fs.Float64("scale", 0.15, "dataset scale relative to paper sizes (0,1]")
 	reps := fs.Int("reps", 1, "repetitions to average over (paper: 3)")
 	seed := fs.Int64("seed", 1, "master random seed")
+	benchPath := fs.String("bench", "BENCH_run.json", "write a machine-readable run record to `file` (empty to disable)")
+	of := addObsFlags(fs)
 	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "knowtrans: experiment needs an id (or `all`)")
 		usage()
 		os.Exit(2)
 	}
 	id := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
-		os.Exit(2)
+	parseOrExit(fs, args[1:])
+	rec, finish, err := of.setup()
+	if err != nil {
+		fatal(err)
 	}
 	z := eval.NewZoo(*seed, *scale)
+	z.Rec = rec
+
+	bench := &BenchRun{}
 	run := func(e eval.Experiment) {
 		start := time.Now()
 		t := e.Run(z, *reps)
+		wall := time.Since(start)
 		fmt.Println(t.Render())
-		fmt.Printf("(%s in %.1fs, scale=%.2f, reps=%d, seed=%d)\n\n", e.ID, time.Since(start).Seconds(), *scale, *reps, *seed)
+		fmt.Printf("(%s in %.1fs, scale=%.2f, reps=%d, seed=%d)\n\n", e.ID, wall.Seconds(), *scale, *reps, *seed)
+		bench.Experiments = append(bench.Experiments, benchRecord(t, wall, *scale, *reps, *seed))
 	}
 	if id == "all" {
 		for _, e := range eval.Registry() {
 			run(e)
 		}
-		return
+	} else {
+		e, ok := eval.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "knowtrans: unknown experiment %q; try `knowtrans list`\n", id)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, ok := eval.ExperimentByID(id)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; try `knowtrans list`\n", id)
-		os.Exit(2)
+	if *benchPath != "" {
+		if err := writeBenchRun(*benchPath, bench); err != nil {
+			fatal(fmt.Errorf("write bench record: %w", err))
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *benchPath, len(bench.Experiments))
 	}
-	run(e)
+	if err := finish(); err != nil {
+		fatal(err)
+	}
 }
 
 func runTransfer(args []string) {
-	fs := flag.NewFlagSet("transfer", flag.ExitOnError)
+	fs := newFlagSet("transfer")
 	dataset := fs.String("dataset", "EM/Walmart-Amazon", "downstream dataset key (task/name)")
 	artifacts := fs.String("artifacts", "", "artifact directory written by `knowtrans build` (optional)")
 	scale := fs.Float64("scale", 0.15, "dataset scale")
 	seed := fs.Int64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+	of := addObsFlags(fs)
+	parseOrExit(fs, args)
+	rec, finish, err := of.setup()
+	if err != nil {
+		fatal(err)
 	}
 	z := eval.NewZoo(*seed, *scale)
-	b := z.DownstreamByKey(*dataset)
+	z.Rec = rec
+	b, ok := z.FindDownstream(*dataset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "knowtrans: unknown dataset %q; valid keys:\n  %s\n",
+			*dataset, strings.Join(z.DownstreamKeys(), "\n  "))
+		usage()
+		os.Exit(2)
+	}
 	fewshot := b.DS.FewShot(rand.New(rand.NewSource(*seed)), eval.FewShotN)
 
 	fmt.Printf("Transferring Jellyfish-7B to %s with %d labeled examples...\n", *dataset, len(fewshot))
@@ -120,7 +180,9 @@ func runTransfer(args []string) {
 			fatal(fmt.Errorf("no artifacts in %s; run `knowtrans build` first", *artifacts))
 		}
 		fmt.Printf("loaded upstream model + %d patches from %s\n", len(snaps), *artifacts)
+		upstream.Rec = rec
 		kt := core.NewKnowTrans(upstream, snaps, oracle.New(*seed))
+		kt.Rec = rec
 		ad, err := kt.Transfer(b.Kind, fewshot, *seed)
 		if err != nil {
 			fatal(err)
@@ -135,5 +197,8 @@ func runTransfer(args []string) {
 	fmt.Printf("\n%-24s %6.2f\n%-24s %6.2f\n", "Jellyfish-7B (few-shot):", jellyScore, "KnowTrans-7B:", ktScore)
 	if kc, ok := pred.(interface{ SearchedKnowledge() *tasks.Knowledge }); ok && kc.SearchedKnowledge() != nil {
 		fmt.Printf("\nSearched knowledge:\n%s\n", tasks.RenderKnowledgeText(kc.SearchedKnowledge()))
+	}
+	if err := finish(); err != nil {
+		fatal(err)
 	}
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux served by -pprof
+	"os"
+
+	"repro/internal/obs"
+)
+
+// obsFlags are the observability options shared by every subcommand:
+//
+//	-trace FILE.jsonl   span trace of the run (Transfer → SKC → AKB tree)
+//	-metrics FILE.json  counters/gauges/histogram summaries at exit
+//	-pprof ADDR         serve net/http/pprof on ADDR (e.g. localhost:6060)
+//
+// With none set, the pipeline runs through a nil recorder at zero cost.
+type obsFlags struct {
+	trace   string
+	metrics string
+	pprof   string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	fs.StringVar(&o.trace, "trace", "", "write a JSONL span trace to `file`")
+	fs.StringVar(&o.metrics, "metrics", "", "write a metrics JSON snapshot to `file` at exit")
+	fs.StringVar(&o.pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+	return o
+}
+
+// setup builds the recorder the flags ask for. The returned finish func
+// flushes and closes everything and must run before exit (it is safe to
+// call when no flag was set).
+func (o *obsFlags) setup() (*obs.Recorder, func() error, error) {
+	if o.pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(o.pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "knowtrans: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", o.pprof)
+	}
+	if o.trace == "" && o.metrics == "" {
+		return nil, func() error { return nil }, nil
+	}
+
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return nil, nil, fmt.Errorf("open trace file: %w", err)
+		}
+		traceFile = f
+		tracer = obs.NewTracer(f)
+	}
+	// The registry exists whenever any observability is on: spans and
+	// metrics come from the same instrumentation points, and a trace-only
+	// run still benefits from counters being cheap.
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, tracer)
+
+	finish := func() error {
+		var firstErr error
+		if o.metrics != "" {
+			f, err := os.Create(o.metrics)
+			if err != nil {
+				firstErr = fmt.Errorf("open metrics file: %w", err)
+			} else {
+				if err := reg.WriteJSON(f); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("write metrics: %w", err)
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if traceFile != nil {
+			if err := tracer.Err(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return rec, finish, nil
+}

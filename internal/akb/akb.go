@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/tasks"
 )
 
@@ -74,6 +75,11 @@ type Config struct {
 	RefinePerIter   int
 	ErrorsPerSubset int
 	Seed            int64
+	// Rec, when non-nil, receives one span per Generation / Evaluation /
+	// Feedback / Refinement step, per-iteration candidate-score
+	// observations, and the oracle-call / predictor-eval counters the cost
+	// analysis (Table III) is built on.
+	Rec *obs.Recorder
 }
 
 // DefaultConfig returns the paper's settings.
@@ -110,8 +116,15 @@ type Result struct {
 // never influences the search.
 func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instance, probe []*data.Instance, cfg Config) *Result {
 	if cfg.Iterations == 0 {
+		rec := cfg.Rec
 		cfg = DefaultConfig(cfg.Seed)
+		cfg.Rec = rec
 	}
+	rec, searchSpan := cfg.Rec.StartSpan("akb.search")
+	defer searchSpan.End()
+	searchSpan.SetAttr("kind", string(kind))
+	searchSpan.SetAttr("valid", len(valid))
+	searchSpan.SetAttr("iterations", cfg.Iterations)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	spec := tasks.SpecFor(kind)
 
@@ -122,17 +135,23 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 	// always a candidate so the search can conclude "no knowledge helps"
 	// (the AVE behaviour in Fig. 7b).
 	pool := []*tasks.Knowledge{nil}
+	_, genSpan := rec.StartSpan("akb.generation")
+	rec.Count("akb.oracle_calls", 1)
+	rec.Count("akb.oracle.generate", 1)
 	pool = append(pool, oracle.Generate(GenerateRequest{
 		Kind:     kind,
 		Examples: demos,
 		PoolSize: cfg.PoolSize,
 	})...)
+	genSpan.SetAttr("pool_size", len(pool))
+	genSpan.End()
 
 	scores := map[*tasks.Knowledge]float64{}
 	scoreOf := func(k *tasks.Knowledge) float64 {
 		if s, ok := scores[k]; ok {
 			return s
 		}
+		rec.Count("akb.predictor_evals", int64(len(valid)))
 		s := Evaluate(pred, spec, valid, k)
 		scores[k] = s
 		return s
@@ -154,27 +173,46 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 
 	res := &Result{}
 	for t := 0; t < cfg.Iterations; t++ {
+		iterRec, iterSpan := rec.StartSpan("akb.iteration")
+		iterSpan.SetAttr("iter", t)
 		// Line 5: select the best candidate under the task metric (Eq. 8).
+		_, evalSpan := iterRec.StartSpan("akb.evaluation")
 		best := pool[0]
 		for _, k := range pool[1:] {
 			if better(k, best) {
 				best = k
 			}
 		}
+		// The selection pass scored (or found cached) every candidate;
+		// export the per-iteration score distribution (Fig. 7's raw data).
+		for _, k := range pool {
+			iterRec.Observe("akb.candidate_score", scoreOf(k), obs.ScoreBuckets)
+		}
+		evalSpan.SetAttr("pool_size", len(pool))
+		evalSpan.SetAttr("best_score", scoreOf(best))
+		evalSpan.End()
 		step := Step{Iter: t, EvalScore: scoreOf(best), TestScore: -1, PoolSize: len(pool)}
 		if probe != nil {
+			iterRec.Count("akb.predictor_evals", int64(len(probe)))
 			step.TestScore = Evaluate(pred, spec, probe, best)
 		}
 		res.Steps = append(res.Steps, step)
 		res.Best, res.BestScore = best, scoreOf(best)
+		iterRec.SetGauge("akb.best_score", res.BestScore)
+		iterSpan.SetAttr("best_score", res.BestScore)
+		iterSpan.SetAttr("pool_size", len(pool))
 
 		if t == cfg.Iterations-1 {
+			iterSpan.End()
 			break
 		}
 		// Line 6: error set E under the current best knowledge.
+		iterRec.Count("akb.predictor_evals", int64(len(valid)))
 		errs := Errors(pred, spec, valid, best)
 		if len(errs) == 0 {
 			// Converged: nothing left to learn from.
+			iterSpan.SetAttr("converged", true)
+			iterSpan.End()
 			break
 		}
 		// Lines 7–11: feedback + refinement over sampled error subsets,
@@ -182,8 +220,16 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 		trajectory := append([]*tasks.Knowledge(nil), pool...)
 		for j := 0; j < cfg.RefinePerIter; j++ {
 			subset := sampleErrors(rng, errs, cfg.ErrorsPerSubset)
+			_, fbSpan := iterRec.StartSpan("akb.feedback")
+			fbSpan.SetAttr("errors", len(subset))
+			iterRec.Count("akb.oracle_calls", 1)
+			iterRec.Count("akb.oracle.feedback", 1)
 			fb := oracle.Feedback(FeedbackRequest{Kind: kind, Knowledge: best, Errors: subset})
+			fbSpan.End()
 			res.Feedbacks = append(res.Feedbacks, fb)
+			_, refSpan := iterRec.StartSpan("akb.refinement")
+			iterRec.Count("akb.oracle_calls", 1)
+			iterRec.Count("akb.oracle.refine", 1)
 			refined := oracle.Refine(RefineRequest{
 				Kind:       kind,
 				Knowledge:  best,
@@ -191,8 +237,11 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 				Feedback:   fb,
 				Trajectory: trajectory,
 			})
+			refSpan.SetAttr("refined", len(refined))
+			refSpan.End()
 			pool = append(pool, refined...)
 		}
+		iterSpan.End()
 	}
 	// Final selection over the full pool (the loop may have added
 	// candidates after the last scoring pass).
@@ -201,6 +250,8 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 			res.Best, res.BestScore = k, scoreOf(k)
 		}
 	}
+	searchSpan.SetAttr("best_score", res.BestScore)
+	searchSpan.SetAttr("pool_size", len(pool))
 	return res
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/lora"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/skc"
 	"repro/internal/tasks"
 )
@@ -43,6 +44,11 @@ type KnowTrans struct {
 	// false (the "w/o SKC" ablation fine-tunes the whole upstream model on
 	// the few-shot data, like the Jellyfish baseline).
 	PlainFT model.TrainConfig
+
+	// Rec, when non-nil, wraps every Transfer in a root span and threads
+	// observability down into the SKC and AKB stages (overriding any
+	// Rec already set on kt.SKC / kt.AKB so the spans nest correctly).
+	Rec *obs.Recorder
 }
 
 // NewKnowTrans returns a fully enabled framework with paper defaults.
@@ -90,18 +96,28 @@ func (kt *KnowTrans) Transfer(kind tasks.Kind, fewshot []*data.Instance, seed in
 	if len(fewshot) == 0 {
 		return nil, fmt.Errorf("core: transfer needs few-shot data")
 	}
+	rec, span := kt.Rec.StartSpan("core.transfer")
+	defer span.End()
+	span.SetAttr("kind", string(kind))
+	span.SetAttr("fewshot", len(fewshot))
+	span.SetAttr("seed", seed)
+	rec.Count("core.transfers", 1)
 	ad := &Adapted{Kind: kind}
 	examples := model.ExamplesFrom(kind, fewshot, nil)
 
 	if kt.UseSKC {
 		opts := kt.SKC
 		opts.Seed = seed
+		if rec != nil {
+			opts.Rec = rec
+		}
 		tr, err := skc.Transfer(kt.Upstream, kt.Patches, examples, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: SKC transfer: %w", err)
 		}
 		ad.Model, ad.Fusion = tr.Model, tr.Fusion
 	} else {
+		_, ftSpan := rec.StartSpan("core.plain_ft")
 		m := kt.Upstream.Clone()
 		tc := kt.PlainFT
 		if tc.Epochs == 0 {
@@ -112,9 +128,13 @@ func (kt *KnowTrans) Transfer(kind tasks.Kind, fewshot []*data.Instance, seed in
 			tc.BatchSize = 4
 		}
 		tc.Seed = seed
+		if tc.MetricTag == "" {
+			tc.MetricTag = "core.plain_ft"
+		}
 		ps := m.Params()
 		model.Train(m, examples, tc, &ps)
 		ad.Model = m
+		ftSpan.End()
 	}
 
 	if kt.UseAKB {
@@ -124,8 +144,12 @@ func (kt *KnowTrans) Transfer(kind tasks.Kind, fewshot []*data.Instance, seed in
 		cfg := kt.AKB
 		if cfg.Iterations == 0 {
 			cfg = akb.DefaultConfig(seed)
+			cfg.Rec = kt.AKB.Rec
 		}
 		cfg.Seed = seed
+		if rec != nil {
+			cfg.Rec = rec
+		}
 		res := akb.Search(ad.Model, kt.Oracle, kind, fewshot, nil, cfg)
 		ad.Knowledge, ad.AKBResult = res.Best, res
 	}

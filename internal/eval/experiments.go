@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/datagen"
@@ -61,6 +62,17 @@ func repSeed(z *Zoo, key string, rep int) int64 {
 	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
+// observeCell records the wall time of one experiment cell repetition (one
+// method adapted and evaluated on one dataset) in the shared histogram and
+// a per-method one, the raw data of Table III's latency column.
+func observeCell(z *Zoo, method string, start time.Time) {
+	if z.Rec == nil {
+		return
+	}
+	z.Rec.ObserveSince("eval.cell_us", start)
+	z.Rec.ObserveSince("eval.cell_us/"+method, start)
+}
+
 // runMethodsOn evaluates the named methods on the bundles, averaging scores
 // over reps repetitions with per-repetition few-shot samples.
 func runMethodsOn(z *Zoo, bundles []*datagen.Bundle, methodNames []string, reps int, fewshotN int) *Table {
@@ -72,12 +84,14 @@ func runMethodsOn(z *Zoo, bundles []*datagen.Bundle, methodNames []string, reps 
 			var sum float64
 			for rep := 0; rep < reps; rep++ {
 				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), fewshotN)
+				start := z.Rec.Now()
 				pred := m.Adapt(&baselines.AdaptContext{
 					Bundle:  b,
 					FewShot: fewshot,
 					Seed:    repSeed(z, b.Key()+name, rep),
 				})
 				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+				observeCell(z, name, start)
 			}
 			cells[name] = sum / float64(reps)
 		}
@@ -158,8 +172,10 @@ func runTable4(z *Zoo, reps int) *Table {
 			var sum float64
 			for rep := 0; rep < reps; rep++ {
 				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
+				start := z.Rec.Now()
 				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
 				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+				observeCell(z, name, start)
 			}
 			cells[name] = sum / float64(reps)
 		}
@@ -193,8 +209,10 @@ func runTable5(z *Zoo, reps int) *Table {
 			var sum float64
 			for rep := 0; rep < reps; rep++ {
 				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
+				start := z.Rec.Now()
 				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
 				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+				observeCell(z, name, start)
 			}
 			cells[name] = sum / float64(reps)
 		}
@@ -229,8 +247,10 @@ func runTable6(z *Zoo, reps int) *Table {
 			var sum float64
 			for rep := 0; rep < reps; rep++ {
 				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
+				start := z.Rec.Now()
 				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
 				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+				observeCell(z, name, start)
 			}
 			cells[name] = sum / float64(reps)
 		}

@@ -41,9 +41,11 @@ func runFig4(z *Zoo, reps int) *Table {
 				var sum float64
 				for rep := 0; rep < reps; rep++ {
 					fewshot := b.DS.FewShot(fewShotRNG(z, fmt.Sprintf("%s|%s|%d", b.Key(), name, n), rep), n)
+					start := z.Rec.Now()
 					pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot,
 						Seed: repSeed(z, fmt.Sprintf("%s|%s|%d", b.Key(), name, n), rep)})
 					sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+					observeCell(z, name, start)
 				}
 				col := "Jellyfish-7B"
 				if name == MethodKnowTrans {
@@ -97,9 +99,11 @@ func runBackboneFigure(z *Zoo, reps int, id, title string, keys []string) *Table
 			var sum float64
 			for rep := 0; rep < reps; rep++ {
 				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+v.column, rep), FewShotN)
+				start := z.Rec.Now()
 				pred := v.method.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot,
 					Seed: repSeed(z, b.Key()+v.column, rep)})
 				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+				observeCell(z, v.column, start)
 			}
 			cells[v.column] = sum / float64(reps)
 		}

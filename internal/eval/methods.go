@@ -107,6 +107,7 @@ func (k *ktMethod) Adapt(ctx *baselines.AdaptContext) baselines.Predictor {
 		UseSKC:   k.useSKC,
 		UseAKB:   k.useAKB,
 		SKC:      skc.Options{Strategy: k.strategy},
+		Rec:      k.z.Rec,
 	}
 	ad, err := kt.Transfer(ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
 	if err != nil {
@@ -127,6 +128,7 @@ func (z *Zoo) AdaptKnowTrans(ctx *baselines.AdaptContext, size Size, useSKC, use
 		UseAKB:   useAKB,
 		SKC:      skc.Options{Strategy: strategy},
 		AKB:      akbCfg,
+		Rec:      z.Rec,
 	}
 	return kt.Transfer(ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/lora"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/skc"
 	"repro/internal/tasks"
 )
@@ -78,6 +79,13 @@ type Zoo struct {
 	Seed  int64
 	Scale float64
 
+	// Rec, when set before the first artifact is built, threads
+	// observability through every model the zoo constructs and every
+	// KnowTrans transfer it runs; experiment runners additionally record a
+	// per-cell wall-time histogram (eval.cell_us and eval.cell_us/<method>).
+	// Leave nil for uninstrumented runs.
+	Rec *obs.Recorder
+
 	mu    sync.Mutex
 	cache map[string]interface{}
 }
@@ -135,14 +143,35 @@ func (z *Zoo) Downstream() []*datagen.Bundle {
 	}).([]*datagen.Bundle)
 }
 
-// DownstreamByKey returns one downstream dataset.
+// DownstreamByKey returns one downstream dataset, panicking on an unknown
+// key (experiment code passes literal keys). CLI paths that accept
+// user-supplied keys should use FindDownstream instead.
 func (z *Zoo) DownstreamByKey(key string) *datagen.Bundle {
+	b, ok := z.FindDownstream(key)
+	if !ok {
+		panic(fmt.Sprintf("eval: unknown downstream dataset %q", key))
+	}
+	return b
+}
+
+// FindDownstream returns the downstream dataset with the given key, or
+// false when no such dataset exists.
+func (z *Zoo) FindDownstream(key string) (*datagen.Bundle, bool) {
 	for _, b := range z.Downstream() {
 		if b.Key() == key {
-			return b
+			return b, true
 		}
 	}
-	panic(fmt.Sprintf("eval: unknown downstream dataset %q", key))
+	return nil, false
+}
+
+// DownstreamKeys lists every downstream dataset key (for usage messages).
+func (z *Zoo) DownstreamKeys() []string {
+	var keys []string
+	for _, b := range z.Downstream() {
+		keys = append(keys, b.Key())
+	}
+	return keys
 }
 
 // UpstreamBundles returns the 12 upstream datasets of Table VII. Upstream
@@ -169,6 +198,7 @@ func (z *Zoo) Base(size Size) *model.Model {
 			Hidden: size.hidden(),
 			Seed:   z.Seed + int64(size.hidden()),
 		})
+		m.Rec = z.Rec
 		// GPT tiers get the rich instruction-tuning mixture (error spotting,
 		// repair priors); raw base models get the lean one; the
 		// TableLLaMA-style generalist gets table tasks with no instruction
@@ -258,6 +288,7 @@ func (z *Zoo) Patches(size Size) []*skc.NamedSnapshot {
 		return skc.ExtractPatches(z.Base(size), sources, skc.Options{
 			Patch: lora.DefaultConfig(),
 			Seed:  z.Seed + 29,
+			Rec:   z.Rec,
 		})
 	}).([]*skc.NamedSnapshot)
 }

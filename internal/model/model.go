@@ -27,6 +27,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/lora"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tasks"
 	"repro/internal/tensor"
 	"repro/internal/text"
@@ -73,6 +74,11 @@ type Model struct {
 
 	// Trust is the learned weight on knowledge-rule hints.
 	Trust *nn.Scalar
+
+	// Rec, when non-nil, receives forward/predict counters and train-step
+	// timings. All instrumentation is nil-safe, so the zero value stays
+	// observability-free at zero cost (see internal/obs).
+	Rec *obs.Recorder
 
 	candCache map[string]*tensor.Sparse
 	scratch   scratch
@@ -195,6 +201,7 @@ func (m *Model) backwardCand(dg tensor.Vec) {
 // Scores runs the forward pass on an example and returns raw candidate
 // scores. The returned slice is scratch reused across calls.
 func (m *Model) Scores(ex *tasks.Example) tensor.Vec {
+	m.Rec.Count("model.forward", 1)
 	n := len(ex.Candidates)
 	if n == 0 {
 		panic(fmt.Sprintf("model: example %q has no candidates", ex.Prompt))
@@ -221,6 +228,7 @@ func (m *Model) Scores(ex *tasks.Example) tensor.Vec {
 // Predict returns the index of the highest-scoring candidate; ties break
 // deterministically toward the lower index.
 func (m *Model) Predict(ex *tasks.Example) int {
+	m.Rec.Count("model.predict", 1)
 	scores := m.Scores(ex)
 	best := 0
 	for k, s := range scores {
@@ -248,6 +256,7 @@ func (m *Model) Loss(ex *tasks.Example) float64 {
 // whatever parameters are unfrozen (backbone, patches, λ, trust), and
 // returns the loss. The caller owns ZeroGrad and the optimizer step.
 func (m *Model) Step(ex *tasks.Example) float64 {
+	m.Rec.Count("model.train_step", 1)
 	n := len(ex.Candidates)
 	x := m.EncodeInput(ex.Segments)
 	f := m.forwardInput(x).Clone()

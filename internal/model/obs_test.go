@@ -1,0 +1,85 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tasks"
+)
+
+// TestPredictNilRecorderAddsNoAllocs is the zero-cost-when-disabled gate
+// for the Predict hot path: the nil-recorder instrumentation calls Predict
+// makes must contribute zero allocations. We measure Predict as-is (its
+// hooks run against the nil recorder) and Predict plus an extra copy of
+// every hook it contains — identical counts mean the hooks are free.
+func TestPredictNilRecorderAddsNoAllocs(t *testing.T) {
+	m := New(tinyConfig())
+	ins := toyED(1, 9)
+	ex := tasks.BuildExample(tasks.SpecFor(tasks.ED), ins[0], nil)
+	m.Predict(ex) // warm caches (candidate encodings, scratch)
+
+	if m.Rec != nil {
+		t.Fatal("fresh model should have a nil recorder")
+	}
+	base := testing.AllocsPerRun(500, func() {
+		m.Predict(ex)
+	})
+	withHooks := testing.AllocsPerRun(500, func() {
+		m.Rec.Count("model.predict", 1)
+		m.Rec.Count("model.forward", 1)
+		m.Predict(ex)
+	})
+	if withHooks != base {
+		t.Fatalf("nil-recorder hooks allocate: %v allocs/op with extra hooks vs %v base", withHooks, base)
+	}
+}
+
+// TestPredictCountsWithRecorder checks the counters actually move when a
+// recorder is attached, and that clones inherit it.
+func TestPredictCountsWithRecorder(t *testing.T) {
+	m := New(tinyConfig())
+	reg := obs.NewRegistry()
+	m.Rec = obs.NewRecorder(reg, nil)
+	ins := toyED(4, 11)
+	spec := tasks.SpecFor(tasks.ED)
+	for _, in := range ins {
+		m.Predict(tasks.BuildExample(spec, in, nil))
+	}
+	if got := reg.Counter("model.predict").Value(); got != 4 {
+		t.Fatalf("model.predict = %d, want 4", got)
+	}
+	if got := reg.Counter("model.forward").Value(); got != 4 {
+		t.Fatalf("model.forward = %d, want 4", got)
+	}
+
+	c := m.Clone()
+	if c.Rec != m.Rec {
+		t.Fatal("clone should inherit the recorder")
+	}
+	c.Predict(tasks.BuildExample(spec, ins[0], nil))
+	if got := reg.Counter("model.predict").Value(); got != 5 {
+		t.Fatalf("clone predict not counted: %d", got)
+	}
+}
+
+// TestTrainEmitsTelemetry checks step counters, step-time histograms, and
+// the per-epoch loss gauge under a custom metric tag.
+func TestTrainEmitsTelemetry(t *testing.T) {
+	m := New(tinyConfig())
+	reg := obs.NewRegistry()
+	m.Rec = obs.NewRecorder(reg, nil)
+	train := toyED(30, 13)
+	ps := m.Params()
+	loss := Train(m, ExamplesFrom(tasks.ED, train, nil), TrainConfig{Epochs: 2, LR: 0.05, Clip: 5, Seed: 7, MetricTag: "skc.fewshot"}, &ps)
+
+	if got := reg.Counter("model.train_step").Value(); got != int64(2*len(train)) {
+		t.Fatalf("model.train_step = %d, want %d", got, 2*len(train))
+	}
+	h := reg.Histogram("skc.fewshot.step_us", nil)
+	if h.Count() != int64(2*len(train)) {
+		t.Fatalf("step_us observations = %d, want %d", h.Count(), 2*len(train))
+	}
+	if g := reg.Gauge("skc.fewshot.epoch_loss").Value(); g != loss {
+		t.Fatalf("epoch_loss gauge = %v, want final loss %v", g, loss)
+	}
+}

@@ -48,13 +48,15 @@ func (m *Model) LoadSnapshot(s *Snapshot) error {
 // Clone returns a fresh model with identical backbone weights and no
 // patches. The clone has its own scratch and candidate cache, so the
 // original and the clone can be trained independently (but each remains
-// single-goroutine).
+// single-goroutine). The clone inherits the recorder: observability follows
+// the model through the pipeline's clone-then-fine-tune pattern.
 func (m *Model) Clone() *Model {
 	c := New(m.Cfg)
 	if err := c.LoadSnapshot(m.Export()); err != nil {
 		// Same config by construction; a failure here is a programming error.
 		panic(err)
 	}
+	c.Rec = m.Rec
 	return c
 }
 

@@ -22,6 +22,10 @@ type TrainConfig struct {
 	// paper's batch 4 × accumulation 4). Besides matching the recipe, the
 	// batched optimizer step is what keeps dense-parameter training fast.
 	BatchSize int
+	// MetricTag names this run's metrics in the model's recorder (e.g.
+	// "skc.fewshot" → gauge skc.fewshot.epoch_loss, histogram
+	// skc.fewshot.step_us). Empty means "train".
+	MetricTag string
 }
 
 // DefaultTrain returns the standard fine-tuning configuration.
@@ -56,6 +60,11 @@ func Train(m *Model, examples []TrainExample, tc TrainConfig, ps *nn.ParamSet) f
 	for i := range order {
 		order[i] = i
 	}
+	tag := tc.MetricTag
+	if tag == "" {
+		tag = "train"
+	}
+	stepMetric, lossMetric := tag+".step_us", tag+".epoch_loss"
 	var lastEpochLoss float64
 	for epoch := 0; epoch < tc.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -65,7 +74,9 @@ func Train(m *Model, examples []TrainExample, tc TrainConfig, ps *nn.ParamSet) f
 		for _, idx := range order {
 			te := examples[idx]
 			ex := tasks.BuildExample(te.Spec, te.Instance, te.Knowledge)
+			stepStart := m.Rec.Now()
 			total += m.Step(ex)
+			m.Rec.ObserveSince(stepMetric, stepStart)
 			pending++
 			if pending == batch {
 				if tc.Clip > 0 {
@@ -84,6 +95,7 @@ func Train(m *Model, examples []TrainExample, tc TrainConfig, ps *nn.ParamSet) f
 			ps.ZeroGrad()
 		}
 		lastEpochLoss = total / float64(len(examples))
+		m.Rec.SetGauge(lossMetric, lastEpochLoss)
 	}
 	return lastEpochLoss
 }

@@ -1,0 +1,90 @@
+package obs
+
+import "time"
+
+// Recorder bundles a metrics registry and a tracer and is what the
+// pipeline threads through model → skc/akb → core → eval. Every method is
+// safe on a nil *Recorder and costs exactly one pointer check there, so
+// instrumented hot paths (model.Predict, train steps) add zero allocations
+// and no clock reads when observability is disabled — the uninstrumented
+// default of every library entry point.
+//
+// Span parentage is carried by the recorder itself: StartSpan returns a
+// derived recorder whose subsequent spans nest under the new span, which is
+// how Transfer → SKC stages → AKB iterations form one tree without any
+// global (goroutine-local) state.
+type Recorder struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	parent  *Span
+}
+
+// NewRecorder returns a recorder over the given registry and tracer.
+// Either may be nil to enable only the other half.
+func NewRecorder(reg *Registry, tr *Tracer) *Recorder {
+	return &Recorder{Metrics: reg, Tracer: tr}
+}
+
+// StartSpan opens a span nested under the recorder's current span and
+// returns it with a derived recorder for the enclosed work. On a nil
+// recorder (or one without a tracer) both results are nil — and every
+// Span/Recorder method tolerates that.
+func (r *Recorder) StartSpan(name string) (*Recorder, *Span) {
+	if r == nil || r.Tracer == nil {
+		return r, nil
+	}
+	var s *Span
+	if r.parent != nil {
+		s = r.parent.StartChild(name)
+	} else {
+		s = r.Tracer.StartSpan(name)
+	}
+	return &Recorder{Metrics: r.Metrics, Tracer: r.Tracer, parent: s}, s
+}
+
+// Count adds d to the named counter.
+func (r *Recorder) Count(name string, d int64) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	r.Metrics.Counter(name).Add(d)
+}
+
+// SetGauge stores v in the named gauge.
+func (r *Recorder) SetGauge(name string, v float64) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	r.Metrics.Gauge(name).Set(v)
+}
+
+// Observe records v in the named histogram (created with the given bounds,
+// TimeBuckets when nil).
+func (r *Recorder) Observe(name string, v float64, bounds []float64) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	r.Metrics.Histogram(name, bounds).Observe(v)
+}
+
+// Now returns the wall clock when the recorder is live and the zero time
+// otherwise, so disabled instrumentation skips the clock read entirely:
+//
+//	start := rec.Now()
+//	... work ...
+//	rec.ObserveSince("stage_us", start)
+func (r *Recorder) Now() time.Time {
+	if r == nil || r.Metrics == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the elapsed microseconds since start (obtained from
+// Now) in the named duration histogram.
+func (r *Recorder) ObserveSince(name string, start time.Time) {
+	if r == nil || r.Metrics == nil || start.IsZero() {
+		return
+	}
+	r.Metrics.Histogram(name, TimeBuckets).Observe(float64(time.Since(start).Microseconds()))
+}

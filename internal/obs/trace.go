@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer serializes completed spans to an io.Writer as JSONL: one
+// SpanRecord per line, written when the span ends (so children appear
+// before their parents in the stream — readers reassemble the tree via the
+// parent ids). A Tracer is safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	err    error
+	nextID atomic.Uint64
+	epoch  time.Time
+}
+
+// NewTracer returns a tracer writing JSONL records to w. Timestamps in the
+// records are microsecond offsets from the tracer's creation.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, epoch: time.Now()}
+}
+
+// Err returns the first write error encountered, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// SpanRecord is the JSONL wire format of one completed span.
+type SpanRecord struct {
+	Span    uint64         `json:"span"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is one timed operation in the trace tree. A Span is intended for a
+// single goroutine (matching the pipeline, which transfers one dataset per
+// goroutine); the tracer-side write on End is mutex-guarded. All methods
+// are nil-safe so disabled tracing costs a pointer check.
+type Span struct {
+	t      *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	attrs  map[string]any
+}
+
+// StartSpan opens a root span.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, id: t.nextID.Add(1), start: time.Now()}
+}
+
+// StartChild opens a child span of s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.t.StartSpan(name)
+	c.parent = s.id
+	return c
+}
+
+// SetAttr attaches a key/value attribute to the span, overwriting any
+// previous value for the key.
+func (s *Span) SetAttr(key string, val any) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = val
+}
+
+// End closes the span and writes its record. End is idempotent-enough for
+// defer use: a second call writes a duplicate record, so call it once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	rec := SpanRecord{
+		Span:    s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(s.t.epoch).Microseconds(),
+		DurUS:   now.Sub(s.start).Microseconds(),
+		Attrs:   s.attrs,
+	}
+	s.t.write(&rec)
+}
+
+func (t *Tracer) write(rec *SpanRecord) {
+	line, err := json.Marshal(rec)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		if t.err == nil {
+			t.err = fmt.Errorf("obs: marshal span %q: %w", rec.Name, err)
+		}
+		return
+	}
+	if t.err != nil {
+		return
+	}
+	line = append(line, '\n')
+	if _, err := t.w.Write(line); err != nil {
+		t.err = fmt.Errorf("obs: write span %q: %w", rec.Name, err)
+	}
+}
+
+// ReadTrace parses a JSONL trace stream back into records, in file order
+// (i.e. span-end order). It is the inverse of the Tracer's serialization
+// and the basis of the round-trip tests and any offline analysis tooling.
+func ReadTrace(r io.Reader) ([]SpanRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []SpanRecord
+	for {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: parse trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/lora"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Source is one upstream dataset prepared for patch extraction.
@@ -44,6 +45,9 @@ type Options struct {
 	FewShot    model.TrainConfig
 	Strategy   lora.WeightStrategy
 	Seed       int64
+	// Rec, when non-nil, receives per-stage spans, per-epoch loss gauges,
+	// and the final λ weight of every fused patch (skc.lambda/<name>).
+	Rec *obs.Recorder
 }
 
 // withDefaults fills unset options.
@@ -69,8 +73,14 @@ func (o Options) withDefaults() Options {
 // model is left untouched.
 func ExtractPatches(base *model.Model, sources []Source, opts Options) []*NamedSnapshot {
 	opts = opts.withDefaults()
+	rec, span := opts.Rec.StartSpan("skc.extract")
+	defer span.End()
+	span.SetAttr("sources", len(sources))
 	out := make([]*NamedSnapshot, 0, len(sources))
 	for i, src := range sources {
+		_, ps2 := rec.StartSpan("skc.extract.patch")
+		ps2.SetAttr("source", src.Name)
+		ps2.SetAttr("examples", len(src.Examples))
 		host := base.Clone()
 		host.SetBaseFrozen(true)
 		host.Trust.Frozen = true
@@ -81,7 +91,12 @@ func ExtractPatches(base *model.Model, sources []Source, opts Options) []*NamedS
 		ps.Add(patch.Params()...)
 		tc := opts.PatchTrain
 		tc.Seed = opts.Seed + int64(i)*131
-		model.Train(host, src.Examples, tc, &ps)
+		if tc.MetricTag == "" {
+			tc.MetricTag = "skc.extract"
+		}
+		loss := model.Train(host, src.Examples, tc, &ps)
+		ps2.SetAttr("final_loss", loss)
+		ps2.End()
 		out = append(out, &NamedSnapshot{Name: src.Name, Snap: patch.Export()})
 	}
 	return out
@@ -99,6 +114,10 @@ type Transferred struct {
 // patch, and returns the fused model ready for few-shot fine-tuning.
 func BuildFusion(upstream *model.Model, snaps []*NamedSnapshot, opts Options) (*Transferred, error) {
 	opts = opts.withDefaults()
+	_, span := opts.Rec.StartSpan("skc.fuse")
+	defer span.End()
+	span.SetAttr("patches", len(snaps))
+	span.SetAttr("strategy", opts.Strategy.String())
 	m := upstream.Clone()
 	m.SetBaseFrozen(true)
 	m.Trust.Frozen = true
@@ -131,8 +150,29 @@ func BuildFusion(upstream *model.Model, snaps []*NamedSnapshot, opts Options) (*
 // It returns the final mean loss.
 func FewShotFineTune(tr *Transferred, examples []model.TrainExample, opts Options) float64 {
 	opts = opts.withDefaults()
+	_, span := opts.Rec.StartSpan("skc.fewshot_ft")
+	defer span.End()
+	span.SetAttr("examples", len(examples))
 	ps := tr.Fusion.TrainableParams()
-	return model.Train(tr.Model, examples, opts.FewShot, &ps)
+	if opts.FewShot.MetricTag == "" {
+		opts.FewShot.MetricTag = "skc.fewshot"
+	}
+	loss := model.Train(tr.Model, examples, opts.FewShot, &ps)
+	span.SetAttr("final_loss", loss)
+	opts.Rec.SetGauge("skc.fewshot.final_loss", loss)
+	recordLambdas(opts.Rec, tr.Fusion)
+	return loss
+}
+
+// recordLambdas exports the fusion's current interpolation weights, one
+// gauge per upstream patch — the quantity Table VI's strategies differ on.
+func recordLambdas(rec *obs.Recorder, f *lora.Fusion) {
+	if rec == nil || f == nil {
+		return
+	}
+	for i, p := range f.Upstream {
+		rec.SetGauge("skc.lambda/"+p.Name, f.Lambdas[i].Val)
+	}
 }
 
 // Transfer is the one-call SKC pipeline of Algorithm 1: extract (or reuse
@@ -141,6 +181,9 @@ func FewShotFineTune(tr *Transferred, examples []model.TrainExample, opts Option
 // downstream dataset and is meant to be done once and reused, exactly like
 // the paper's patch library.
 func Transfer(upstream *model.Model, snaps []*NamedSnapshot, fewshot []model.TrainExample, opts Options) (*Transferred, error) {
+	rec, span := opts.Rec.StartSpan("skc.transfer")
+	defer span.End()
+	opts.Rec = rec
 	tr, err := BuildFusion(upstream, snaps, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, and the race-sensitive test
+# packages (the obs registry/tracer and the concurrent AKB loop).
+# Run from anywhere inside the repo; exits non-zero on first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./internal/obs/... ./internal/akb/...
+echo "check.sh: all gates passed"
