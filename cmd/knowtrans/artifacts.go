@@ -103,7 +103,10 @@ func loadArtifacts(dir string) (*model.Model, []*skc.NamedSnapshot, error) {
 	return m, snaps, nil
 }
 
+// fatal aborts the process, first flushing any active trace/metrics
+// recording so a failed run still leaves an analyzable record on disk.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "knowtrans:", err)
+	runObsCleanup()
 	os.Exit(1)
 }

@@ -6,31 +6,18 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs/analyze"
 )
 
-// BenchExperiment is the machine-readable record of one experiment run,
-// the unit of the repository's bench trajectory (BENCH_run.json).
-type BenchExperiment struct {
-	ID          string  `json:"id"`
-	Title       string  `json:"title"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Scale       float64 `json:"scale"`
-	Reps        int     `json:"reps"`
-	Seed        int64   `json:"seed"`
-	Rows        int     `json:"rows"`
-	// Metrics holds the per-column averages of the rendered table — the
-	// headline numbers (method scores, costs, round curves) in a form a
-	// tracking script can diff across runs without parsing tables.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// BenchRun is the top-level BENCH_run.json document.
-type BenchRun struct {
-	SchemaVersion int               `json:"schema_version"`
-	GeneratedAt   string            `json:"generated_at"`
-	Experiments   []BenchExperiment `json:"experiments"`
-	TotalSeconds  float64           `json:"total_wall_seconds"`
-}
+// The BENCH_run.json document types live in internal/obs/analyze so the
+// `knowtrans obs diff` gate and other tooling can load run records without
+// importing the CLI; this package keeps the writer side.
+type (
+	// BenchExperiment is the machine-readable record of one experiment run.
+	BenchExperiment = analyze.BenchExperiment
+	// BenchRun is the top-level BENCH_run.json document.
+	BenchRun = analyze.BenchRun
+)
 
 // benchRecord summarizes one finished experiment table.
 func benchRecord(t *eval.Table, wall time.Duration, scale float64, reps int, seed int64) BenchExperiment {

@@ -52,6 +52,8 @@ func main() {
 		runBuild(os.Args[2:])
 	case "transfer":
 		runTransfer(os.Args[2:])
+	case "obs":
+		runObs(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "knowtrans: unknown command %q\n", os.Args[1])
 		usage()
@@ -65,11 +67,14 @@ func usage() {
   knowtrans experiment <id|all> [-scale S] [-reps N] [-seed K] [-bench FILE.json] [obs flags]
   knowtrans build [-artifacts DIR] [-scale S] [-seed K] [obs flags]
   knowtrans transfer -dataset <task/name> [-artifacts DIR] [-scale S] [-seed K] [obs flags]
+  knowtrans obs trace FILE.jsonl [-top N] [-json]
+  knowtrans obs diff A.json B.json [-rel-tol F] [-strict] [-json]
 
 observability flags (any subcommand):
   -trace FILE.jsonl   write a span trace (Transfer → SKC stages → AKB iterations)
   -metrics FILE.json  write counters/gauges/latency histograms at exit
-  -pprof ADDR         serve net/http/pprof on ADDR while the run executes`)
+  -pprof ADDR         serve net/http/pprof plus live /metrics (Prometheus
+                      text) and /metrics.json on ADDR while the run executes`)
 }
 
 // newFlagSet returns a flag set that reports parse errors to the caller
@@ -113,9 +118,20 @@ func runExperiment(args []string) {
 
 	bench := &BenchRun{}
 	run := func(e eval.Experiment) {
+		// Each experiment runs under one root span so `knowtrans obs trace`
+		// can account every stage's self time against a single wall-time
+		// denominator.
+		expRec, expSpan := rec.StartSpan("experiment")
+		expSpan.SetAttr("id", e.ID)
+		expSpan.SetAttr("scale", *scale)
+		expSpan.SetAttr("reps", *reps)
+		z.Rec = expRec
 		start := time.Now()
 		t := e.Run(z, *reps)
 		wall := time.Since(start)
+		expSpan.End()
+		z.Rec = rec
+		expRec.Event("experiment.done", "id", e.ID, "wall_s", wall.Seconds())
 		fmt.Println(t.Render())
 		fmt.Printf("(%s in %.1fs, scale=%.2f, reps=%d, seed=%d)\n\n", e.ID, wall.Seconds(), *scale, *reps, *seed)
 		bench.Experiments = append(bench.Experiments, benchRecord(t, wall, *scale, *reps, *seed))

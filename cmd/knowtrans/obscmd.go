@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs/analyze"
+)
+
+// The obs subcommand family is the consumption side of the -trace/-metrics
+// flags: offline analysis of the JSONL span traces and BENCH_run.json
+// documents an instrumented run leaves behind.
+//
+//	knowtrans obs trace t.jsonl [-top 10] [-json]
+//	knowtrans obs diff A.json B.json [-rel-tol F] [-wall-tol F] [-strict] [-verbose] [-json]
+func runObs(args []string) {
+	if len(args) == 0 {
+		obsUsage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "trace":
+		runObsTrace(args[1:])
+	case "diff":
+		runObsDiff(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "knowtrans: unknown obs subcommand %q\n", args[0])
+		obsUsage()
+		os.Exit(2)
+	}
+}
+
+func obsUsage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  knowtrans obs trace FILE.jsonl [-top N] [-json]
+      analyze a span trace: per-stage aggregates (count, total/self time,
+      p50/p95), the critical path, the slowest spans, and event counts
+  knowtrans obs diff A.json B.json [-rel-tol F] [-wall-tol F] [-strict] [-verbose] [-json]
+      compare two BENCH_run.json documents metric-by-metric; exits 1 when
+      any metric regressed beyond the relative tolerance`)
+}
+
+func runObsTrace(args []string) {
+	fs := newFlagSet("obs trace")
+	top := fs.Int("top", 10, "slowest-spans entries to report")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(os.Stderr, "knowtrans: obs trace needs a trace file")
+		obsUsage()
+		os.Exit(2)
+	}
+	path := args[0]
+	parseOrExit(fs, args[1:])
+	tr, err := analyze.LoadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	rep := analyze.NewReport(tr, *top)
+	if *asJSON {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func runObsDiff(args []string) {
+	fs := newFlagSet("obs diff")
+	relTol := fs.Float64("rel-tol", 0, "relative metric change treated as noise (0 = any change counts)")
+	wallTol := fs.Float64("wall-tol", 0, "gate wall time when relative increase exceeds this (0 = report only)")
+	strict := fs.Bool("strict", false, "any change (including improvements and added metrics) is a regression — the determinism gate")
+	verbose := fs.Bool("verbose", false, "also list unchanged metrics and wall-time deltas")
+	asJSON := fs.Bool("json", false, "emit the diff as JSON instead of text")
+	if len(args) < 2 || strings.HasPrefix(args[0], "-") || strings.HasPrefix(args[1], "-") {
+		fmt.Fprintln(os.Stderr, "knowtrans: obs diff needs two BENCH_run.json files")
+		obsUsage()
+		os.Exit(2)
+	}
+	pathA, pathB := args[0], args[1]
+	parseOrExit(fs, args[2:])
+	a, err := analyze.LoadBenchRun(pathA)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := analyze.LoadBenchRun(pathB)
+	if err != nil {
+		fatal(err)
+	}
+	d := analyze.DiffBenchRuns(a, b, analyze.DiffOptions{
+		RelTol:  *relTol,
+		WallTol: *wallTol,
+		Strict:  *strict,
+	})
+	if *asJSON {
+		err = d.WriteJSON(os.Stdout)
+	} else {
+		fmt.Printf("diff %s -> %s\n", pathA, pathB)
+		err = d.WriteText(os.Stdout, *verbose)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if d.HasRegressions() {
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registered on the default mux served by -pprof
 	"os"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -14,7 +15,9 @@ import (
 //
 //	-trace FILE.jsonl   span trace of the run (Transfer → SKC → AKB tree)
 //	-metrics FILE.json  counters/gauges/histogram summaries at exit
-//	-pprof ADDR         serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-pprof ADDR         serve net/http/pprof, /metrics (Prometheus text
+//	                    exposition, re-rendered on every scrape), and
+//	                    /metrics.json on ADDR
 //
 // With none set, the pipeline runs through a nil recorder at zero cost.
 type obsFlags struct {
@@ -27,66 +30,107 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	o := &obsFlags{}
 	fs.StringVar(&o.trace, "trace", "", "write a JSONL span trace to `file`")
 	fs.StringVar(&o.metrics, "metrics", "", "write a metrics JSON snapshot to `file` at exit")
-	fs.StringVar(&o.pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+	fs.StringVar(&o.pprof, "pprof", "", "serve pprof + live /metrics on `addr` (e.g. localhost:6060)")
 	return o
 }
 
-// setup builds the recorder the flags ask for. The returned finish func
-// flushes and closes everything and must run before exit (it is safe to
-// call when no flag was set).
-func (o *obsFlags) setup() (*obs.Recorder, func() error, error) {
-	if o.pprof != "" {
-		go func() {
-			if err := http.ListenAndServe(o.pprof, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "knowtrans: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", o.pprof)
+// obsCleanup is the registered finish func of the active obsFlags setup;
+// fatal() runs it so an aborting run still flushes its trace and metrics
+// to disk (the analyzer tolerates the truncated tail a hard kill leaves,
+// but an error exit shouldn't need that tolerance).
+var (
+	obsCleanupMu sync.Mutex
+	obsCleanup   func() error
+)
+
+func runObsCleanup() {
+	obsCleanupMu.Lock()
+	f := obsCleanup
+	obsCleanup = nil
+	obsCleanupMu.Unlock()
+	if f == nil {
+		return
 	}
-	if o.trace == "" && o.metrics == "" {
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "knowtrans: observability shutdown: %v\n", err)
+	}
+}
+
+// setup builds the recorder the flags ask for. The returned finish func
+// flushes and closes everything, runs at most once (fatal() triggers it on
+// the error path too), and must run before exit; it is safe to call when
+// no flag was set.
+func (o *obsFlags) setup() (*obs.Recorder, func() error, error) {
+	if o.trace == "" && o.metrics == "" && o.pprof == "" {
 		return nil, func() error { return nil }, nil
 	}
 
 	var tracer *obs.Tracer
-	var traceFile *os.File
 	if o.trace != "" {
 		f, err := os.Create(o.trace)
 		if err != nil {
 			return nil, nil, fmt.Errorf("open trace file: %w", err)
 		}
-		traceFile = f
 		tracer = obs.NewTracer(f)
 	}
 	// The registry exists whenever any observability is on: spans and
-	// metrics come from the same instrumentation points, and a trace-only
-	// run still benefits from counters being cheap.
+	// metrics come from the same instrumentation points, a trace-only run
+	// still benefits from counters being cheap, and the live /metrics
+	// endpoint needs something to render even when nothing is written at
+	// exit.
 	reg := obs.NewRegistry()
 	rec := obs.NewRecorder(reg, tracer)
 
+	if o.pprof != "" {
+		// /metrics and /metrics.json snapshot the registry per scrape, so a
+		// long `knowtrans experiment` run can be watched while it executes.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			if err := obs.WritePrometheus(w, reg.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		http.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(o.pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "knowtrans: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s: /debug/pprof/ /metrics /metrics.json\n", o.pprof)
+	}
+
+	var once sync.Once
 	finish := func() error {
 		var firstErr error
-		if o.metrics != "" {
-			f, err := os.Create(o.metrics)
-			if err != nil {
-				firstErr = fmt.Errorf("open metrics file: %w", err)
-			} else {
-				if err := reg.WriteJSON(f); err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("write metrics: %w", err)
-				}
-				if err := f.Close(); err != nil && firstErr == nil {
-					firstErr = err
+		once.Do(func() {
+			if o.metrics != "" {
+				f, err := os.Create(o.metrics)
+				if err != nil {
+					firstErr = fmt.Errorf("open metrics file: %w", err)
+				} else {
+					if err := reg.WriteJSON(f); err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("write metrics: %w", err)
+					}
+					if err := f.Close(); err != nil && firstErr == nil {
+						firstErr = err
+					}
 				}
 			}
-		}
-		if traceFile != nil {
-			if err := tracer.Err(); err != nil && firstErr == nil {
+			// Close flushes the JSONL tail and surfaces any write error the
+			// tracer swallowed mid-run.
+			if err := tracer.Close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
-			if err := traceFile.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
+		})
 		return firstErr
 	}
+	obsCleanupMu.Lock()
+	obsCleanup = finish
+	obsCleanupMu.Unlock()
 	return rec, finish, nil
 }

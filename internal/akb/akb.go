@@ -184,9 +184,14 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 			}
 		}
 		// The selection pass scored (or found cached) every candidate;
-		// export the per-iteration score distribution (Fig. 7's raw data).
-		for _, k := range pool {
-			iterRec.Observe("akb.candidate_score", scoreOf(k), obs.ScoreBuckets)
+		// export the per-iteration score distribution (Fig. 7's raw data)
+		// and one accept/reject event per candidate, so the knowledge-search
+		// trajectory (Eq. 9–11) is reconstructable from the trace alone.
+		for i, k := range pool {
+			iterRec.Observe("akb.candidate_score", scoreOf(k), obs.DefaultScoreBounds)
+			iterRec.Event("akb.candidate", "iter", t, "idx", i,
+				"score", scoreOf(k), "accepted", k == best,
+				"informativeness", informativeness(k))
 		}
 		evalSpan.SetAttr("pool_size", len(pool))
 		evalSpan.SetAttr("best_score", scoreOf(best))
@@ -226,6 +231,8 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 			iterRec.Count("akb.oracle.feedback", 1)
 			fb := oracle.Feedback(FeedbackRequest{Kind: kind, Knowledge: best, Errors: subset})
 			fbSpan.End()
+			iterRec.Event("akb.feedback", "iter", t, "subset", j,
+				"errors", len(subset), "feedback", clip(fb, 200))
 			res.Feedbacks = append(res.Feedbacks, fb)
 			_, refSpan := iterRec.StartSpan("akb.refinement")
 			iterRec.Count("akb.oracle_calls", 1)
@@ -239,6 +246,7 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 			})
 			refSpan.SetAttr("refined", len(refined))
 			refSpan.End()
+			iterRec.Event("akb.refined", "iter", t, "subset", j, "candidates", len(refined))
 			pool = append(pool, refined...)
 		}
 		iterSpan.End()
@@ -252,7 +260,18 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 	}
 	searchSpan.SetAttr("best_score", res.BestScore)
 	searchSpan.SetAttr("pool_size", len(pool))
+	rec.Event("akb.selected", "score", res.BestScore, "pool", len(pool),
+		"informativeness", informativeness(res.Best))
 	return res
+}
+
+// clip truncates s to at most n bytes for event attributes (feedback text
+// can be long; the trace wants the gist, res.Feedbacks keeps the whole).
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
 }
 
 // informativeness ranks knowledge candidates for tie-breaking: total rule

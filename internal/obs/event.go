@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Structured events ride in the same JSONL stream as spans: one SpanRecord
+// with Kind == KindEvent, a zero duration, and the enclosing span as
+// parent. Attribute normalization is delegated to log/slog — Event accepts
+// the same alternating key/value (or slog.Attr) argument forms as
+// slog.Logger, and a Tracer is itself usable as a slog.Handler via Logger()
+// for code that already speaks slog.
+
+// Event writes one structured event under the given parent span id (0 for a
+// top-level event). args are slog-style attributes: alternating key/value
+// pairs, slog.Attr values, or slog groups.
+func (t *Tracer) Event(parent uint64, name string, args ...any) {
+	if t == nil {
+		return
+	}
+	rec := slog.NewRecord(time.Now(), slog.LevelInfo, name, 0)
+	rec.Add(args...)
+	t.writeEvent(parent, rec)
+}
+
+func (t *Tracer) writeEvent(parent uint64, rec slog.Record) {
+	out := SpanRecord{
+		Span:    t.nextID.Add(1),
+		Parent:  parent,
+		Kind:    KindEvent,
+		Name:    rec.Message,
+		StartUS: rec.Time.Sub(t.epoch).Microseconds(),
+	}
+	if rec.NumAttrs() > 0 {
+		out.Attrs = make(map[string]any, rec.NumAttrs())
+		rec.Attrs(func(a slog.Attr) bool {
+			flattenAttr(out.Attrs, "", a)
+			return true
+		})
+	}
+	t.write(&out)
+}
+
+// flattenAttr resolves one slog attribute into the flat Attrs map, joining
+// group members with "." so events stay one JSON object deep.
+func flattenAttr(dst map[string]any, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	key := a.Key
+	if prefix != "" {
+		key = prefix + "." + key
+	}
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			flattenAttr(dst, key, ga)
+		}
+		return
+	}
+	if key == "" {
+		return
+	}
+	dst[key] = v.Any()
+}
+
+// Logger returns a *slog.Logger whose records become event lines in the
+// trace (top-level: no parent span). The handler ignores levels — a trace
+// is opt-in debugging output, so everything written to it is kept.
+func (t *Tracer) Logger() *slog.Logger {
+	return slog.New(&traceHandler{t: t})
+}
+
+// traceHandler adapts a Tracer to slog.Handler.
+type traceHandler struct {
+	t      *Tracer
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (h *traceHandler) Enabled(context.Context, slog.Level) bool { return h.t != nil }
+
+func (h *traceHandler) Handle(_ context.Context, rec slog.Record) error {
+	out := slog.NewRecord(rec.Time, rec.Level, rec.Message, rec.PC)
+	out.AddAttrs(h.attrs...)
+	prefix := ""
+	for _, g := range h.groups {
+		prefix += g + "."
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		if prefix != "" {
+			a.Key = prefix + a.Key
+		}
+		out.AddAttrs(a)
+		return true
+	})
+	h.t.writeEvent(0, out)
+	return h.t.Err()
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &traceHandler{t: h.t, groups: h.groups}
+	nh.attrs = append([]slog.Attr(nil), h.attrs...)
+	for _, a := range attrs {
+		for i := len(h.groups) - 1; i >= 0; i-- {
+			a.Key = h.groups[i] + "." + a.Key
+		}
+		nh.attrs = append(nh.attrs, a)
+	}
+	return nh
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	nh := &traceHandler{t: h.t, attrs: h.attrs}
+	nh.groups = append(append([]string(nil), h.groups...), name)
+	return nh
+}

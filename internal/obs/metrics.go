@@ -201,9 +201,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// TimeBuckets are the default histogram bounds for durations in
-// microseconds: 1-2-5 decades from 1µs to 100s.
-var TimeBuckets = func() []float64 {
+// DefaultLatencyBounds are the default histogram bounds for durations in
+// microseconds: 1-2-5 decades from 1µs to 100s. Call sites recording a
+// latency share this one slice instead of building ad-hoc bounds per
+// Observe call; Registry.Histogram also falls back to it when given nil
+// bounds.
+var DefaultLatencyBounds = func() []float64 {
 	var out []float64
 	for base := 1.0; base <= 1e8; base *= 10 {
 		out = append(out, base, 2*base, 5*base)
@@ -211,9 +214,18 @@ var TimeBuckets = func() []float64 {
 	return out
 }()
 
-// ScoreBuckets are the default bounds for metric scores on the 100-point
-// scale used throughout the evaluation.
-var ScoreBuckets = []float64{0, 10, 20, 30, 40, 50, 60, 65, 70, 75, 80, 85, 90, 92.5, 95, 97.5, 99, 100}
+// DefaultScoreBounds are the default bounds for metric scores on the
+// 100-point scale used throughout the evaluation (AKB candidate scores,
+// method accuracies).
+var DefaultScoreBounds = []float64{0, 10, 20, 30, 40, 50, 60, 65, 70, 75, 80, 85, 90, 92.5, 95, 97.5, 99, 100}
+
+// TimeBuckets and ScoreBuckets are the pre-rename aliases of the default
+// bound slices, kept so existing call sites and external users keep
+// compiling.
+var (
+	TimeBuckets  = DefaultLatencyBounds
+	ScoreBuckets = DefaultScoreBounds
+)
 
 // Registry is a named collection of metrics. Lookups are get-or-create and
 // safe for concurrent use; metric instances are safe to retain and update
@@ -269,8 +281,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with the given bounds
-// on first use (TimeBuckets when bounds is nil). Bounds of an existing
-// histogram are not changed.
+// on first use (DefaultLatencyBounds when bounds is nil). Bounds of an
+// existing histogram are not changed.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.RLock()
 	h, ok := r.hists[name]
@@ -282,7 +294,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	if h, ok = r.hists[name]; !ok {
 		if bounds == nil {
-			bounds = TimeBuckets
+			bounds = DefaultLatencyBounds
 		}
 		h = newHistogram(bounds)
 		r.hists[name] = h

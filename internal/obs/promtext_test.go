@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// --- minimal Prometheus text-format (0.0.4) parser --------------------------
+//
+// Enough of the grammar to act as a conformance check for WritePrometheus:
+// TYPE comments, sample lines `name{label="value",...} value`, label escape
+// sequences, float values (incl. +Inf), and the histogram invariants
+// (cumulative buckets non-decreasing, +Inf bucket == _count).
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type promDoc struct {
+	types   map[string]string // family -> counter|gauge|histogram|...
+	samples []promSample
+}
+
+func parseProm(t *testing.T, text string) *promDoc {
+	t.Helper()
+	doc := &promDoc{types: map[string]string{}}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, " ")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !promMetricRe.MatchString(name) {
+					t.Fatalf("line %d: invalid family name %q", ln+1, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("line %d: invalid type %q", ln+1, typ)
+				}
+				if _, dup := doc.types[name]; dup {
+					t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+				}
+				doc.types[name] = typ
+			}
+			continue
+		}
+		doc.samples = append(doc.samples, parsePromSample(t, ln+1, line))
+	}
+	return doc
+}
+
+func parsePromSample(t *testing.T, ln int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: no value separator in %q", ln, line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if !promMetricRe.MatchString(s.name) {
+		t.Fatalf("line %d: invalid metric name %q", ln, s.name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label set in %q", ln, line)
+		}
+		for _, pair := range splitPromLabels(t, ln, rest[1:end]) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				t.Fatalf("line %d: malformed label %q", ln, pair)
+			}
+			key, val := pair[:eq], pair[eq+1:]
+			if !promLabelRe.MatchString(key) {
+				t.Fatalf("line %d: invalid label name %q", ln, key)
+			}
+			if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+				t.Fatalf("line %d: unquoted label value %q", ln, val)
+			}
+			unescaped, err := unescapePromLabel(val[1 : len(val)-1])
+			if err != nil {
+				t.Fatalf("line %d: %v", ln, err)
+			}
+			s.labels[key] = unescaped
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// One value, optional timestamp (we never emit one).
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		t.Fatalf("line %d: want `value [timestamp]`, got %q", ln, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", ln, fields[0], err)
+	}
+	s.value = v
+	return s
+}
+
+// splitPromLabels splits on commas outside quotes.
+func splitPromLabels(t *testing.T, ln int, s string) []string {
+	t.Helper()
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\':
+			cur.WriteRune(r)
+			escaped = true
+		case r == '"':
+			cur.WriteRune(r)
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		t.Fatalf("line %d: unterminated quote in label set %q", ln, s)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func unescapePromLabel(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling backslash in label value %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("invalid escape \\%c in label value %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}
+
+// --- tests -------------------------------------------------------------------
+
+func testSnapshot() RegistrySnapshot {
+	reg := NewRegistry()
+	reg.Counter("akb.oracle_calls").Add(7)
+	reg.Counter("model.predict").Add(123)
+	reg.Gauge("skc.lambda/EM/iTunes-Amazon").Set(0.21)
+	reg.Gauge("akb.best_score").Set(92.5)
+	h := reg.Histogram("eval.cell_us/KnowTrans-7B", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	reg.Histogram("eval.cell_us/Jellyfish-7B", []float64{10, 100, 1000}).Observe(42)
+	return reg.Snapshot()
+}
+
+// TestPrometheusGrammar renders a realistic snapshot and runs it through
+// the minimal parser: every line must be well-formed, every sample must
+// belong to a declared family, and histogram invariants must hold.
+func TestPrometheusGrammar(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	doc := parseProm(t, buf.String())
+
+	if len(doc.samples) == 0 {
+		t.Fatal("no samples emitted")
+	}
+	for _, s := range doc.samples {
+		fam := s.name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(fam, suffix); base != fam && doc.types[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := doc.types[fam]; !ok {
+			t.Errorf("sample %q has no TYPE declaration", s.name)
+		}
+	}
+}
+
+func TestPrometheusValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	doc := parseProm(t, buf.String())
+	find := func(name, series, le string) (float64, bool) {
+		for _, s := range doc.samples {
+			if s.name == name && s.labels["series"] == series && s.labels["le"] == le {
+				return s.value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := find("akb_oracle_calls", "", ""); !ok || v != 7 {
+		t.Errorf("akb_oracle_calls = %g, %v", v, ok)
+	}
+	if v, ok := find("skc_lambda", "EM/iTunes-Amazon", ""); !ok || v != 0.21 {
+		t.Errorf("skc_lambda{series=EM/iTunes-Amazon} = %g, %v", v, ok)
+	}
+	if v, ok := find("eval_cell_us_count", "KnowTrans-7B", ""); !ok || v != 4 {
+		t.Errorf("histogram _count = %g, %v", v, ok)
+	}
+	if v, ok := find("eval_cell_us_sum", "KnowTrans-7B", ""); !ok || v != 5555 {
+		t.Errorf("histogram _sum = %g, %v", v, ok)
+	}
+}
+
+// TestPrometheusHistogramInvariants checks cumulative bucket monotonicity
+// and that the +Inf bucket equals _count for every series.
+func TestPrometheusHistogramInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	doc := parseProm(t, buf.String())
+	type key struct{ name, series string }
+	buckets := map[key][]float64{} // in emission order
+	counts := map[key]float64{}
+	infs := map[key]float64{}
+	for _, s := range doc.samples {
+		k := key{strings.TrimSuffix(s.name, "_bucket"), s.labels["series"]}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket") && s.labels["le"] == "+Inf":
+			infs[k] = s.value
+		case strings.HasSuffix(s.name, "_bucket"):
+			buckets[k] = append(buckets[k], s.value)
+		case strings.HasSuffix(s.name, "_count"):
+			counts[key{strings.TrimSuffix(s.name, "_count"), s.labels["series"]}] = s.value
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets found")
+	}
+	for k, bs := range buckets {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] < bs[i-1] {
+				t.Errorf("%v: buckets not cumulative: %v", k, bs)
+			}
+		}
+		if infs[k] != counts[k] {
+			t.Errorf("%v: +Inf bucket %g != _count %g", k, infs[k], counts[k])
+		}
+		if len(bs) > 0 && bs[len(bs)-1] > infs[k] {
+			t.Errorf("%v: finite bucket %g exceeds +Inf %g", k, bs[len(bs)-1], infs[k])
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := []struct{ in, metric, series string }{
+		{"akb.oracle_calls", "akb_oracle_calls", ""},
+		{"eval.cell_us/KnowTrans-7B", "eval_cell_us", "KnowTrans-7B"},
+		{"skc.lambda/EM/iTunes-Amazon", "skc_lambda", "EM/iTunes-Amazon"},
+		{"7weird name", "_7weird_name", ""},
+	}
+	for _, c := range cases {
+		m, s := promName(c.in)
+		if m != c.metric || s != c.series {
+			t.Errorf("promName(%q) = %q,%q want %q,%q", c.in, m, s, c.metric, c.series)
+		}
+		if !promMetricRe.MatchString(m) {
+			t.Errorf("promName(%q) metric %q not grammar-valid", c.in, m)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge(`g/quote"back\slash`).Set(1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	doc := parseProm(t, buf.String())
+	if len(doc.samples) != 1 {
+		t.Fatalf("samples = %+v", doc.samples)
+	}
+	if got := doc.samples[0].labels["series"]; got != `quote"back\slash` {
+		t.Errorf("escaped label round-trip = %q", got)
+	}
+}

@@ -58,8 +58,24 @@ func (r *Recorder) SetGauge(name string, v float64) {
 	r.Metrics.Gauge(name).Set(v)
 }
 
+// Event emits a structured event into the trace stream, parented to the
+// recorder's current span. args are slog-style attributes (alternating
+// key/value pairs or slog.Attr values). Events are how the pipeline records
+// point-in-time decisions — AKB candidate accept/reject, feedback text —
+// that have no duration but belong on the span timeline.
+func (r *Recorder) Event(name string, args ...any) {
+	if r == nil || r.Tracer == nil {
+		return
+	}
+	var parent uint64
+	if r.parent != nil {
+		parent = r.parent.id
+	}
+	r.Tracer.Event(parent, name, args...)
+}
+
 // Observe records v in the named histogram (created with the given bounds,
-// TimeBuckets when nil).
+// DefaultLatencyBounds when nil).
 func (r *Recorder) Observe(name string, v float64, bounds []float64) {
 	if r == nil || r.Metrics == nil {
 		return
@@ -86,5 +102,5 @@ func (r *Recorder) ObserveSince(name string, start time.Time) {
 	if r == nil || r.Metrics == nil || start.IsZero() {
 		return
 	}
-	r.Metrics.Histogram(name, TimeBuckets).Observe(float64(time.Since(start).Microseconds()))
+	r.Metrics.Histogram(name, DefaultLatencyBounds).Observe(float64(time.Since(start).Microseconds()))
 }

@@ -9,14 +9,16 @@ import (
 	"time"
 )
 
-// Tracer serializes completed spans to an io.Writer as JSONL: one
-// SpanRecord per line, written when the span ends (so children appear
-// before their parents in the stream — readers reassemble the tree via the
-// parent ids). A Tracer is safe for concurrent use.
+// Tracer serializes completed spans and structured events to an io.Writer
+// as JSONL: one SpanRecord per line, spans written when they end (so
+// children appear before their parents in the stream — readers reassemble
+// the tree via the parent ids), events written immediately. A Tracer is
+// safe for concurrent use.
 type Tracer struct {
 	mu     sync.Mutex
 	w      io.Writer
 	err    error
+	closed bool
 	nextID atomic.Uint64
 	epoch  time.Time
 }
@@ -34,15 +36,25 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
-// SpanRecord is the JSONL wire format of one completed span.
+// KindEvent marks a point-in-time event record in the trace stream; span
+// records leave Kind empty, which keeps pre-event traces parseable.
+const KindEvent = "event"
+
+// SpanRecord is the JSONL wire format of one completed span, and — with
+// Kind set to KindEvent and a zero duration — of one structured event.
 type SpanRecord struct {
 	Span    uint64         `json:"span"`
 	Parent  uint64         `json:"parent,omitempty"`
+	Kind    string         `json:"kind,omitempty"`
 	Name    string         `json:"name"`
 	StartUS int64          `json:"start_us"`
 	DurUS   int64          `json:"dur_us"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
 }
+
+// IsEvent reports whether the record is a structured event rather than a
+// span.
+func (r *SpanRecord) IsEvent() bool { return r.Kind == KindEvent }
 
 // Span is one timed operation in the trace tree. A Span is intended for a
 // single goroutine (matching the pipeline, which transfers one dataset per
@@ -115,13 +127,36 @@ func (t *Tracer) write(rec *SpanRecord) {
 		}
 		return
 	}
-	if t.err != nil {
+	if t.err != nil || t.closed {
 		return
 	}
 	line = append(line, '\n')
 	if _, err := t.w.Write(line); err != nil {
 		t.err = fmt.Errorf("obs: write span %q: %w", rec.Name, err)
 	}
+}
+
+// Close flushes and closes the tracer. When the underlying writer is an
+// io.Closer (the trace file) it is closed too, so an aborting CLI path can
+// call Close once and know the JSONL tail reached disk. Records written
+// after Close are dropped; Close is idempotent and returns the first error
+// the tracer encountered (write, marshal, or close).
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if c, ok := t.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && t.err == nil {
+			t.err = fmt.Errorf("obs: close trace: %w", err)
+		}
+	}
+	return t.err
 }
 
 // ReadTrace parses a JSONL trace stream back into records, in file order

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Tier-1 gate: formatting, vet, build, and the race-sensitive test
-# packages (the obs registry/tracer and the concurrent AKB loop).
+# packages (the obs registry/tracer/analyzer and the concurrent AKB loop).
+# Tier-2 gate: run a tiny seeded experiment twice and require `knowtrans
+# obs diff -strict` to report zero regressions (the determinism gate), and
+# require the trace analyzer's self-time accounting to cover the root span.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -15,4 +18,36 @@ fi
 go vet ./...
 go build ./...
 go test -race ./internal/obs/... ./internal/akb/...
+echo "check.sh: tier-1 gates passed"
+
+# --- tier-2: telemetry determinism gate ------------------------------------
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/knowtrans" ./cmd/knowtrans
+"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 \
+	-bench "$tmp/a.json" -trace "$tmp/a.jsonl" >/dev/null
+"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 \
+	-bench "$tmp/b.json" >/dev/null
+
+# Identical seeds must produce identical metrics (wall time is exempt).
+"$tmp/knowtrans" obs diff "$tmp/a.json" "$tmp/b.json" -strict >/dev/null || {
+	echo "check.sh: determinism gate failed — obs diff found changes:" >&2
+	"$tmp/knowtrans" obs diff "$tmp/a.json" "$tmp/b.json" -strict >&2 || true
+	exit 1
+}
+
+# The analyzer's per-stage self times must account for the root span's
+# duration (the ISSUE's 5% acceptance bound).
+coverage=$("$tmp/knowtrans" obs trace "$tmp/a.jsonl" | sed -n 's/^self-time coverage: \([0-9.]*\)%.*/\1/p')
+if [ -z "$coverage" ]; then
+	echo "check.sh: obs trace printed no coverage line" >&2
+	exit 1
+fi
+ok=$(awk -v c="$coverage" 'BEGIN { print (c >= 95.0 && c <= 105.0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+	echo "check.sh: self-time coverage $coverage% outside [95,105]" >&2
+	exit 1
+fi
+echo "check.sh: tier-2 determinism gate passed (coverage $coverage%)"
 echo "check.sh: all gates passed"
