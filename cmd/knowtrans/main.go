@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	knowtrans experiment <id> [-scale 0.15] [-reps 3] [-seed 1]
+//	knowtrans experiment <id> [-scale 0.15] [-reps 3] [-seed 1] [-workers N]
 //	knowtrans experiment all
 //	knowtrans list
 //	knowtrans transfer -dataset EM/Walmart-Amazon [-scale 0.15] [-seed 1]
@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -64,7 +65,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   knowtrans list
-  knowtrans experiment <id|all> [-scale S] [-reps N] [-seed K] [-bench FILE.json] [obs flags]
+  knowtrans experiment <id|all> [-scale S] [-reps N] [-seed K] [-workers W]
+                       [-bench FILE.json] [obs flags]
   knowtrans build [-artifacts DIR] [-scale S] [-seed K] [obs flags]
   knowtrans transfer -dataset <task/name> [-artifacts DIR] [-scale S] [-seed K] [obs flags]
   knowtrans obs trace FILE.jsonl [-top N] [-json]
@@ -100,6 +102,8 @@ func runExperiment(args []string) {
 	scale := fs.Float64("scale", 0.15, "dataset scale relative to paper sizes (0,1]")
 	reps := fs.Int("reps", 1, "repetitions to average over (paper: 3)")
 	seed := fs.Int64("seed", 1, "master random seed")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"experiment cell workers (1 = serial; results are identical at any count)")
 	benchPath := fs.String("bench", "BENCH_run.json", "write a machine-readable run record to `file` (empty to disable)")
 	of := addObsFlags(fs)
 	if len(args) == 0 {
@@ -115,6 +119,7 @@ func runExperiment(args []string) {
 	}
 	z := eval.NewZoo(*seed, *scale)
 	z.Rec = rec
+	z.Workers = *workers
 
 	bench := &BenchRun{}
 	run := func(e eval.Experiment) {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/tasks"
 )
 
@@ -25,6 +26,11 @@ type AdaptContext struct {
 	Bundle  *datagen.Bundle
 	FewShot []*data.Instance
 	Seed    int64
+	// Rec, when non-nil, is the recorder of the enclosing experiment cell;
+	// methods thread it into the backbone clones they train so telemetry
+	// nests under the cell's span (the parallel harness derives one
+	// recorder per cell). Nil leaves each clone's inherited recorder alone.
+	Rec *obs.Recorder
 }
 
 // Method is one comparison system.
@@ -72,6 +78,9 @@ func (f *FineTuned) Name() string { return f.MethodName }
 // examples.
 func (f *FineTuned) Adapt(ctx *AdaptContext) Predictor {
 	m := f.Backbone()
+	if ctx.Rec != nil {
+		m.Rec = ctx.Rec
+	}
 	tc := f.Train
 	if tc.Epochs == 0 {
 		tc = model.DefaultTrain(ctx.Seed)

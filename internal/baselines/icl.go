@@ -31,6 +31,9 @@ func (c *ICL) Name() string { return c.MethodName }
 // frozen, exactly like an API model.
 func (c *ICL) Adapt(ctx *AdaptContext) Predictor {
 	m := c.Backbone()
+	if ctx.Rec != nil {
+		m.Rec = ctx.Rec
+	}
 	k := c.K
 	if k == 0 {
 		k = 10

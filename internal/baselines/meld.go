@@ -63,6 +63,9 @@ func (m *MELD) Name() string { return "MELD" }
 // coefficients, fine-tune only a fresh shared adapter on the few-shot data.
 func (m *MELD) Adapt(ctx *AdaptContext) Predictor {
 	host := m.Backbone()
+	if ctx.Rec != nil {
+		host.Rec = ctx.Rec
+	}
 	host.SetBaseFrozen(true)
 	host.Trust.Frozen = true
 	rng := rand.New(rand.NewSource(ctx.Seed + 333))

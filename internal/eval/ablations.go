@@ -4,6 +4,7 @@ import (
 	"repro/internal/akb"
 	"repro/internal/baselines"
 	"repro/internal/lora"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/tasks"
 )
@@ -60,43 +61,56 @@ func ExperimentByID(id string) (Experiment, bool) {
 func runAblateSubstrate(z *Zoo, reps int) *Table {
 	columns := []string{"none", "trust-off", "no-rules", "no-text", "full"}
 	t := &Table{ID: "ablate-substrate", Title: "Knowledge-channel ablations on the adapted model", Columns: columns}
-	for _, key := range ablationDatasets {
-		b := z.DownstreamByKey(key)
-		cells := map[string]float64{}
-		for rep := 0; rep < reps; rep++ {
-			fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+"ablate", rep), FewShotN)
-			ctx := &baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+"ablate", rep)}
-			ad, err := z.AdaptKnowTrans(ctx, Size7B, true, true, lora.StrategyAdaptive, akb.Config{})
-			if err != nil {
-				panic(err)
-			}
-			spec := tasks.SpecFor(b.Kind)
-			k := ad.Knowledge
-			score := func(k *tasks.Knowledge) float64 {
-				return akb.Evaluate(ad.Model, spec, b.DS.Test, k)
-			}
-			cells["none"] += score(nil)
-			cells["full"] += score(k)
-			if k != nil {
-				noRules := k.Clone()
-				noRules.Rules = nil
-				cells["no-rules"] += score(noRules)
-				noText := k.Clone()
-				noText.Text = ""
-				cells["no-text"] += score(noText)
-			} else {
-				cells["no-rules"] += score(nil)
-				cells["no-text"] += score(nil)
-			}
-			trust := ad.Model.Trust.Val
-			ad.Model.Trust.Val = 0
-			cells["trust-off"] += score(k)
-			ad.Model.Trust.Val = trust
-		}
-		for _, c := range columns {
-			cells[c] /= float64(reps)
-		}
-		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	bundles := bundlesByKey(z, ablationDatasets)
+	var jobs []cellJob[map[string]float64]
+	for _, b := range bundles {
+		key := cellKey(b.Key(), "ablate")
+		jobs = append(jobs, cellJob[map[string]float64]{
+			Label: key,
+			Run: func(rec *obs.Recorder) map[string]float64 {
+				cells := map[string]float64{}
+				for rep := 0; rep < reps; rep++ {
+					fewshot := b.DS.FewShot(fewShotRNG(z, key, rep), FewShotN)
+					ctx := &baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, key, rep), Rec: rec}
+					ad, err := z.AdaptKnowTrans(ctx, Size7B, true, true, lora.StrategyAdaptive, akb.Config{})
+					if err != nil {
+						panic(err)
+					}
+					spec := tasks.SpecFor(b.Kind)
+					k := ad.Knowledge
+					score := func(k *tasks.Knowledge) float64 {
+						return akb.Evaluate(ad.Model, spec, b.DS.Test, k)
+					}
+					cells["none"] += score(nil)
+					cells["full"] += score(k)
+					if k != nil {
+						noRules := k.Clone()
+						noRules.Rules = nil
+						cells["no-rules"] += score(noRules)
+						noText := k.Clone()
+						noText.Text = ""
+						cells["no-text"] += score(noText)
+					} else {
+						cells["no-rules"] += score(nil)
+						cells["no-text"] += score(nil)
+					}
+					// ad.Model is this cell's private adapted clone, so the
+					// trust toggle never races with other cells.
+					trust := ad.Model.Trust.Val
+					ad.Model.Trust.Val = 0
+					cells["trust-off"] += score(k)
+					ad.Model.Trust.Val = trust
+				}
+				for _, c := range columns {
+					cells[c] /= float64(reps)
+				}
+				return cells
+			},
+		})
+	}
+	results := runCells(z, jobs)
+	for i, b := range bundles {
+		t.AddRow(string(b.Kind), b.DS.Name, results[i])
 	}
 	return t.WithAverages()
 }
@@ -110,32 +124,43 @@ func runAblateSubstrate(z *Zoo, reps int) *Table {
 func runAblateOracle(z *Zoo, reps int) *Table {
 	columns := []string{"no-AKB", "temp-0", "temp-0.9"}
 	t := &Table{ID: "ablate-oracle", Title: "AKB oracle ablations (KnowTrans-7B)", Columns: columns}
-	for _, key := range ablationDatasets {
-		b := z.DownstreamByKey(key)
-		cells := map[string]float64{}
-		for rep := 0; rep < reps; rep++ {
-			fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+"ablateo", rep), FewShotN)
-			ctx := &baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+"ablateo", rep)}
-			// One SKC fine-tune shared by all oracle variants.
-			ad, err := z.AdaptKnowTrans(ctx, Size7B, true, false, lora.StrategyAdaptive, akb.Config{})
-			if err != nil {
-				panic(err)
-			}
-			spec := tasks.SpecFor(b.Kind)
-			cells["no-AKB"] += akb.Evaluate(ad.Model, spec, b.DS.Test, nil)
-			for _, v := range []struct {
-				col  string
-				temp float64
-			}{{"temp-0", 0}, {"temp-0.9", 0.9}} {
-				res := akb.Search(ad.Model, oracle.NewWithTemperature(ctx.Seed+771, v.temp),
-					b.Kind, fewshot, nil, akb.DefaultConfig(ctx.Seed))
-				cells[v.col] += akb.Evaluate(ad.Model, spec, b.DS.Test, res.Best)
-			}
-		}
-		for _, c := range columns {
-			cells[c] /= float64(reps)
-		}
-		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	bundles := bundlesByKey(z, ablationDatasets)
+	var jobs []cellJob[map[string]float64]
+	for _, b := range bundles {
+		key := cellKey(b.Key(), "ablateo")
+		jobs = append(jobs, cellJob[map[string]float64]{
+			Label: key,
+			Run: func(rec *obs.Recorder) map[string]float64 {
+				cells := map[string]float64{}
+				for rep := 0; rep < reps; rep++ {
+					fewshot := b.DS.FewShot(fewShotRNG(z, key, rep), FewShotN)
+					ctx := &baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, key, rep), Rec: rec}
+					// One SKC fine-tune shared by all oracle variants.
+					ad, err := z.AdaptKnowTrans(ctx, Size7B, true, false, lora.StrategyAdaptive, akb.Config{})
+					if err != nil {
+						panic(err)
+					}
+					spec := tasks.SpecFor(b.Kind)
+					cells["no-AKB"] += akb.Evaluate(ad.Model, spec, b.DS.Test, nil)
+					for _, v := range []struct {
+						col  string
+						temp float64
+					}{{"temp-0", 0}, {"temp-0.9", 0.9}} {
+						res := akb.Search(ad.Model, oracle.NewWithTemperature(ctx.Seed+771, v.temp),
+							b.Kind, fewshot, nil, akb.DefaultConfig(ctx.Seed))
+						cells[v.col] += akb.Evaluate(ad.Model, spec, b.DS.Test, res.Best)
+					}
+				}
+				for _, c := range columns {
+					cells[c] /= float64(reps)
+				}
+				return cells
+			},
+		})
+	}
+	results := runCells(z, jobs)
+	for i, b := range bundles {
+		t.AddRow(string(b.Kind), b.DS.Name, results[i])
 	}
 	return t.WithAverages()
 }

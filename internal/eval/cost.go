@@ -46,8 +46,8 @@ func runTable3(z *Zoo, _ int) *Table {
 	if len(sample) > costSampleN {
 		sample = sample[:costSampleN]
 	}
-	fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+"cost", 0), FewShotN)
-	seed := repSeed(z, b.Key()+"cost", 0)
+	fewshot := b.DS.FewShot(fewShotRNG(z, cellKey(b.Key(), "cost"), 0), FewShotN)
+	seed := repSeed(z, cellKey(b.Key(), "cost"), 0)
 
 	for _, name := range []string{MethodGPT35, MethodGPT4o, MethodGPT4} {
 		m := z.Method(name)

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/datagen"
 	"repro/internal/lora"
+	"repro/internal/obs"
 )
 
 // FewShotN is the paper's labeled budget per novel dataset (Table I).
@@ -48,6 +50,13 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// cellKey joins the components of a cell's seed-stream key with an explicit
+// separator. Bare concatenation (the former b.Key()+name scheme) could
+// alias distinct (dataset, method) pairs into one seed stream; the
+// separator keeps keys collision-free as long as components contain no "|",
+// which dataset keys and column names don't.
+func cellKey(parts ...string) string { return strings.Join(parts, "|") }
+
 // fewShotRNG derives the deterministic sampler for a (dataset, repetition)
 // pair; every method sees the same few-shot sample within a repetition.
 func fewShotRNG(z *Zoo, key string, rep int) *rand.Rand {
@@ -65,38 +74,77 @@ func repSeed(z *Zoo, key string, rep int) int64 {
 // observeCell records the wall time of one experiment cell repetition (one
 // method adapted and evaluated on one dataset) in the shared histogram and
 // a per-method one, the raw data of Table III's latency column.
-func observeCell(z *Zoo, method string, start time.Time) {
-	if z.Rec == nil {
-		return
+func observeCell(rec *obs.Recorder, method string, start time.Time) {
+	rec.ObserveSince("eval.cell_us", start)
+	rec.ObserveSince("eval.cell_us/"+method, start)
+}
+
+// methodCell builds the pool job for one (dataset, column) table cell:
+// construct the method, adapt and score it reps times on per-repetition
+// few-shot samples, return the mean. key is the cell's content-addressed
+// seed-stream key (see cellKey) — derived from names, never from execution
+// order, which is what makes the worker schedule irrelevant to the result.
+// obsName labels the per-method latency histogram (usually the column name;
+// Fig. 4 uses the method name across budget columns).
+func methodCell(z *Zoo, b *datagen.Bundle, key, obsName string, reps, fewshotN int, build func() baselines.Method) cellJob[float64] {
+	return cellJob[float64]{
+		Label: key,
+		Run: func(rec *obs.Recorder) float64 {
+			m := build()
+			var sum float64
+			for rep := 0; rep < reps; rep++ {
+				fewshot := b.DS.FewShot(fewShotRNG(z, key, rep), fewshotN)
+				start := rec.Now()
+				pred := m.Adapt(&baselines.AdaptContext{
+					Bundle:  b,
+					FewShot: fewshot,
+					Seed:    repSeed(z, key, rep),
+					Rec:     rec,
+				})
+				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
+				observeCell(rec, obsName, start)
+			}
+			return sum / float64(reps)
+		},
 	}
-	z.Rec.ObserveSince("eval.cell_us", start)
-	z.Rec.ObserveSince("eval.cell_us/"+method, start)
+}
+
+// bundlesByKey resolves dataset keys to bundles, in order.
+func bundlesByKey(z *Zoo, keys []string) []*datagen.Bundle {
+	out := make([]*datagen.Bundle, len(keys))
+	for i, k := range keys {
+		out[i] = z.DownstreamByKey(k)
+	}
+	return out
+}
+
+// assembleRows fills t with one row per bundle from the flat scores slice,
+// which runCells produced in the same bundle-major, column-minor order the
+// jobs were declared in.
+func assembleRows(t *Table, bundles []*datagen.Bundle, columns []string, scores []float64) {
+	i := 0
+	for _, b := range bundles {
+		cells := map[string]float64{}
+		for _, c := range columns {
+			cells[c] = scores[i]
+			i++
+		}
+		t.AddRow(string(b.Kind), b.DS.Name, cells)
+	}
 }
 
 // runMethodsOn evaluates the named methods on the bundles, averaging scores
 // over reps repetitions with per-repetition few-shot samples.
 func runMethodsOn(z *Zoo, bundles []*datagen.Bundle, methodNames []string, reps int, fewshotN int) *Table {
 	t := &Table{Columns: methodNames}
+	jobs := make([]cellJob[float64], 0, len(bundles)*len(methodNames))
 	for _, b := range bundles {
-		cells := map[string]float64{}
 		for _, name := range methodNames {
-			m := z.Method(name)
-			var sum float64
-			for rep := 0; rep < reps; rep++ {
-				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), fewshotN)
-				start := z.Rec.Now()
-				pred := m.Adapt(&baselines.AdaptContext{
-					Bundle:  b,
-					FewShot: fewshot,
-					Seed:    repSeed(z, b.Key()+name, rep),
-				})
-				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
-				observeCell(z, name, start)
-			}
-			cells[name] = sum / float64(reps)
+			jobs = append(jobs, methodCell(z, b, cellKey(b.Key(), name), name, reps, fewshotN,
+				func() baselines.Method { return z.Method(name) }))
 		}
-		t.AddRow(string(b.Kind), b.DS.Name, cells)
 	}
+	assembleRows(t, bundles, methodNames, runCells(z, jobs))
 	return t
 }
 
@@ -160,27 +208,20 @@ func runTable4(z *Zoo, reps int) *Table {
 	columns := []string{MethodGPT35, MethodGPT4, MethodGPT4o, "KnowTrans-7B", "KnowTrans-8B", "KnowTrans-13B"}
 	t := &Table{ID: "table4", Title: "Comparison with closed-source LLMs (few-shot)", Columns: columns}
 	sizes := map[string]Size{"KnowTrans-7B": Size7B, "KnowTrans-8B": Size8B, "KnowTrans-13B": Size13B}
-	for _, b := range z.Downstream() {
-		cells := map[string]float64{}
+	bundles := z.Downstream()
+	var jobs []cellJob[float64]
+	for _, b := range bundles {
 		for _, name := range columns {
-			var m baselines.Method
-			if size, ok := sizes[name]; ok {
-				m = z.KnowTransMethod(size, true, true, lora.StrategyAdaptive)
-			} else {
-				m = z.Method(name)
-			}
-			var sum float64
-			for rep := 0; rep < reps; rep++ {
-				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
-				start := z.Rec.Now()
-				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
-				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
-				observeCell(z, name, start)
-			}
-			cells[name] = sum / float64(reps)
+			jobs = append(jobs, methodCell(z, b, cellKey(b.Key(), name), name, reps, FewShotN,
+				func() baselines.Method {
+					if size, ok := sizes[name]; ok {
+						return z.KnowTransMethod(size, true, true, lora.StrategyAdaptive)
+					}
+					return z.Method(name)
+				}))
 		}
-		t.AddRow(string(b.Kind), b.DS.Name, cells)
 	}
+	assembleRows(t, bundles, columns, runCells(z, jobs))
 	return t.WithAverages()
 }
 
@@ -200,24 +241,16 @@ func runTable5(z *Zoo, reps int) *Table {
 		"KnowTrans":     {true, true},
 	}
 	t := &Table{ID: "table5", Title: "Ablation study of SKC and AKB (KnowTrans-7B)", Columns: columns}
-	for _, key := range table5Datasets {
-		b := z.DownstreamByKey(key)
-		cells := map[string]float64{}
+	bundles := bundlesByKey(z, table5Datasets)
+	var jobs []cellJob[float64]
+	for _, b := range bundles {
 		for _, name := range columns {
 			cfg := configs[name]
-			m := z.KnowTransMethod(Size7B, cfg[0], cfg[1], lora.StrategyAdaptive)
-			var sum float64
-			for rep := 0; rep < reps; rep++ {
-				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
-				start := z.Rec.Now()
-				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
-				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
-				observeCell(z, name, start)
-			}
-			cells[name] = sum / float64(reps)
+			jobs = append(jobs, methodCell(z, b, cellKey(b.Key(), name), name, reps, FewShotN,
+				func() baselines.Method { return z.KnowTransMethod(Size7B, cfg[0], cfg[1], lora.StrategyAdaptive) }))
 		}
-		t.AddRow(string(b.Kind), b.DS.Name, cells)
 	}
+	assembleRows(t, bundles, columns, runCells(z, jobs))
 	return t.WithAverages()
 }
 
@@ -225,36 +258,34 @@ func runTable5(z *Zoo, reps int) *Table {
 
 var table6Datasets = []string{"ED/Flights", "ED/Rayyan", "EM/Abt-Buy", "AVE/AE-110k"}
 
-func runTable6(z *Zoo, reps int) *Table {
+func runTable6(z *Zoo, reps int) *Table { return runTable6On(z, reps, table6Datasets) }
+
+// runTable6On runs the weight-strategy comparison over the given dataset
+// keys: the full Table VI list normally, a smaller grid in the
+// serial-vs-parallel determinism test.
+func runTable6On(z *Zoo, reps int, keys []string) *Table {
 	columns := []string{"Single", "Uniform", "Adaptive", "KnowTrans"}
 	t := &Table{ID: "table6", Title: "Weight strategies for upstream knowledge patches (KnowTrans-7B)", Columns: columns}
-	for _, key := range table6Datasets {
-		b := z.DownstreamByKey(key)
-		cells := map[string]float64{}
+	bundles := bundlesByKey(z, keys)
+	var jobs []cellJob[float64]
+	for _, b := range bundles {
 		for _, name := range columns {
-			var m baselines.Method
-			switch name {
-			case "Single":
-				// No upstream patches, no AKB: the bare shared-patch model.
-				m = z.KnowTransMethod(Size7B, true, false, lora.StrategySingle)
-			case "Uniform":
-				m = z.KnowTransMethod(Size7B, true, false, lora.StrategyUniform)
-			case "Adaptive":
-				m = z.KnowTransMethod(Size7B, true, false, lora.StrategyAdaptive)
-			default: // KnowTrans = adaptive + AKB
-				m = z.KnowTransMethod(Size7B, true, true, lora.StrategyAdaptive)
-			}
-			var sum float64
-			for rep := 0; rep < reps; rep++ {
-				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+name, rep), FewShotN)
-				start := z.Rec.Now()
-				pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: repSeed(z, b.Key()+name, rep)})
-				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
-				observeCell(z, name, start)
-			}
-			cells[name] = sum / float64(reps)
+			jobs = append(jobs, methodCell(z, b, cellKey(b.Key(), name), name, reps, FewShotN,
+				func() baselines.Method {
+					switch name {
+					case "Single":
+						// No upstream patches, no AKB: the bare shared-patch model.
+						return z.KnowTransMethod(Size7B, true, false, lora.StrategySingle)
+					case "Uniform":
+						return z.KnowTransMethod(Size7B, true, false, lora.StrategyUniform)
+					case "Adaptive":
+						return z.KnowTransMethod(Size7B, true, false, lora.StrategyAdaptive)
+					default: // KnowTrans = adaptive + AKB
+						return z.KnowTransMethod(Size7B, true, true, lora.StrategyAdaptive)
+					}
+				}))
 		}
-		t.AddRow(string(b.Kind), b.DS.Name, cells)
 	}
+	assembleRows(t, bundles, columns, runCells(z, jobs))
 	return t.WithAverages()
 }

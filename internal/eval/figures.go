@@ -2,12 +2,15 @@ package eval
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/akb"
 	"repro/internal/baselines"
 	"repro/internal/data"
+	"repro/internal/datagen"
 	"repro/internal/lora"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/tasks"
 )
@@ -22,6 +25,11 @@ var fig4Counts = []int{20, 50, 100, 200, 1000, 2000}
 func runFig4(z *Zoo, reps int) *Table {
 	t := &Table{ID: "fig4", Title: "Scalability: Jellyfish-7B vs KnowTrans-7B as labeled instances grow",
 		Columns: []string{"Instances", "Jellyfish-7B", "KnowTrans-7B"}}
+	type point struct {
+		b *datagen.Bundle
+		n int
+	}
+	var points []point
 	for _, key := range fig4Datasets {
 		b := z.DownstreamByKey(key)
 		prev := -1
@@ -35,26 +43,24 @@ func runFig4(z *Zoo, reps int) *Table {
 				continue
 			}
 			prev = n
-			cells := map[string]float64{"Instances": float64(n)}
-			for _, name := range []string{MethodJellyfish, MethodKnowTrans} {
-				m := z.Method(name)
-				var sum float64
-				for rep := 0; rep < reps; rep++ {
-					fewshot := b.DS.FewShot(fewShotRNG(z, fmt.Sprintf("%s|%s|%d", b.Key(), name, n), rep), n)
-					start := z.Rec.Now()
-					pred := m.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot,
-						Seed: repSeed(z, fmt.Sprintf("%s|%s|%d", b.Key(), name, n), rep)})
-					sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
-					observeCell(z, name, start)
-				}
-				col := "Jellyfish-7B"
-				if name == MethodKnowTrans {
-					col = "KnowTrans-7B"
-				}
-				cells[col] = sum / float64(reps)
-			}
-			t.AddRow(string(b.Kind), fmt.Sprintf("%s@%d", b.DS.Name, n), cells)
+			points = append(points, point{b, n})
 		}
+	}
+	methods := []string{MethodJellyfish, MethodKnowTrans}
+	var jobs []cellJob[float64]
+	for _, pt := range points {
+		for _, name := range methods {
+			jobs = append(jobs, methodCell(z, pt.b, cellKey(pt.b.Key(), name, strconv.Itoa(pt.n)), name, reps, pt.n,
+				func() baselines.Method { return z.Method(name) }))
+		}
+	}
+	scores := runCells(z, jobs)
+	for i, pt := range points {
+		t.AddRow(string(pt.b.Kind), fmt.Sprintf("%s@%d", pt.b.DS.Name, pt.n), map[string]float64{
+			"Instances":    float64(pt.n),
+			"Jellyfish-7B": scores[2*i],
+			"KnowTrans-7B": scores[2*i+1],
+		})
 	}
 	return t
 }
@@ -92,23 +98,15 @@ func runBackboneFigure(z *Zoo, reps int, id, title string, keys []string) *Table
 		columns = append(columns, v.column)
 	}
 	t := &Table{ID: id, Title: title, Columns: columns}
-	for _, key := range keys {
-		b := z.DownstreamByKey(key)
-		cells := map[string]float64{}
+	bundles := bundlesByKey(z, keys)
+	var jobs []cellJob[float64]
+	for _, b := range bundles {
 		for _, v := range variants {
-			var sum float64
-			for rep := 0; rep < reps; rep++ {
-				fewshot := b.DS.FewShot(fewShotRNG(z, b.Key()+v.column, rep), FewShotN)
-				start := z.Rec.Now()
-				pred := v.method.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot,
-					Seed: repSeed(z, b.Key()+v.column, rep)})
-				sum += baselines.Evaluate(pred, b.Kind, b.DS.Test)
-				observeCell(z, v.column, start)
-			}
-			cells[v.column] = sum / float64(reps)
+			jobs = append(jobs, methodCell(z, b, cellKey(b.Key(), v.column), v.column, reps, FewShotN,
+				func() baselines.Method { return v.method }))
 		}
-		t.AddRow(string(b.Kind), b.DS.Name, cells)
 	}
+	assembleRows(t, bundles, columns, runCells(z, jobs))
 	return t.WithAverages()
 }
 
@@ -135,56 +133,72 @@ var fig7Datasets = []string{"ED/Rayyan", "AVE/AE-110k"}
 func runFig7(z *Zoo, reps int) *Table {
 	t := &Table{ID: "fig7", Title: "Effect of refinement rounds on eval and test scores (KnowTrans-7B)",
 		Columns: []string{"Round", "Eval", "Test"}}
-	for _, key := range fig7Datasets {
-		b := z.DownstreamByKey(key)
-		rounds := 7
-		evalSum := make([]float64, rounds)
-		testSum := make([]float64, rounds)
-		evalN := make([]int, rounds)
-		for rep := 0; rep < reps; rep++ {
-			// A larger labeled pool split into disjoint fine-tuning and
-			// validation halves (the paper's Section VII-A train/validation
-			// split): a validation set the model did not memorize is what
-			// lets the eval curve climb across refinement rounds.
-			pool := b.DS.FewShot(fewShotRNG(z, b.Key()+"fig7", rep), 2*FewShotN)
-			half := len(pool) / 2
-			ftHalf, valHalf := pool[:half], pool[half:]
-			ctx := &baselines.AdaptContext{Bundle: b, FewShot: ftHalf, Seed: repSeed(z, b.Key()+"fig7", rep)}
-			// Fine-tune with SKC but defer AKB: the search is run manually
-			// with a test probe and an extended round budget.
-			ad, err := z.AdaptKnowTrans(ctx, Size7B, true, false, lora.StrategyAdaptive, akb.Config{})
-			if err != nil {
-				panic(err)
-			}
-			probe := b.DS.Test
-			if len(probe) > 300 {
-				probe = probe[:300]
-			}
-			cfg := akb.DefaultConfig(ctx.Seed)
-			cfg.Iterations = rounds
-			res := akb.Search(ad.Model, oracle.New(ctx.Seed+771), b.Kind, valHalf, probe, cfg)
-			last := akb.Step{TestScore: -1}
-			for r := 0; r < rounds; r++ {
-				step := last
-				for _, s := range res.Steps {
-					if s.Iter == r {
-						step = s
+	const rounds = 7
+	type series struct {
+		evalAvg [rounds]float64
+		testAvg [rounds]float64
+	}
+	bundles := bundlesByKey(z, fig7Datasets)
+	var jobs []cellJob[series]
+	for _, b := range bundles {
+		key := cellKey(b.Key(), "fig7")
+		jobs = append(jobs, cellJob[series]{
+			Label: key,
+			Run: func(rec *obs.Recorder) series {
+				var s series
+				for rep := 0; rep < reps; rep++ {
+					// A larger labeled pool split into disjoint fine-tuning and
+					// validation halves (the paper's Section VII-A train/validation
+					// split): a validation set the model did not memorize is what
+					// lets the eval curve climb across refinement rounds.
+					pool := b.DS.FewShot(fewShotRNG(z, key, rep), 2*FewShotN)
+					half := len(pool) / 2
+					ftHalf, valHalf := pool[:half], pool[half:]
+					ctx := &baselines.AdaptContext{Bundle: b, FewShot: ftHalf, Seed: repSeed(z, key, rep), Rec: rec}
+					// Fine-tune with SKC but defer AKB: the search is run manually
+					// with a test probe and an extended round budget.
+					ad, err := z.AdaptKnowTrans(ctx, Size7B, true, false, lora.StrategyAdaptive, akb.Config{})
+					if err != nil {
+						panic(err)
+					}
+					probe := b.DS.Test
+					if len(probe) > 300 {
+						probe = probe[:300]
+					}
+					cfg := akb.DefaultConfig(ctx.Seed)
+					cfg.Iterations = rounds
+					res := akb.Search(ad.Model, oracle.New(ctx.Seed+771), b.Kind, valHalf, probe, cfg)
+					last := akb.Step{TestScore: -1}
+					for r := 0; r < rounds; r++ {
+						step := last
+						for _, st := range res.Steps {
+							if st.Iter == r {
+								step = st
+							}
+						}
+						// After convergence the curve stays flat at the last value.
+						if step.TestScore >= 0 || r == 0 {
+							last = step
+						}
+						s.evalAvg[r] += last.EvalScore
+						s.testAvg[r] += last.TestScore
 					}
 				}
-				// After convergence the curve stays flat at the last value.
-				if step.TestScore >= 0 || r == 0 {
-					last = step
+				for r := 0; r < rounds; r++ {
+					s.evalAvg[r] /= float64(reps)
+					s.testAvg[r] /= float64(reps)
 				}
-				evalSum[r] += last.EvalScore
-				testSum[r] += last.TestScore
-				evalN[r]++
-			}
-		}
+				return s
+			},
+		})
+	}
+	results := runCells(z, jobs)
+	for i, b := range bundles {
 		for r := 0; r < rounds; r++ {
 			t.AddRow(string(b.Kind), fmt.Sprintf("%s@round%d", b.DS.Name, r), map[string]float64{
 				"Round": float64(r),
-				"Eval":  evalSum[r] / float64(evalN[r]),
-				"Test":  testSum[r] / float64(evalN[r]),
+				"Eval":  results[i].evalAvg[r],
+				"Test":  results[i].testAvg[r],
 			})
 		}
 	}

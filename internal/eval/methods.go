@@ -100,6 +100,10 @@ func (k *ktMethod) Adapt(ctx *baselines.AdaptContext) baselines.Predictor {
 	if k.upstream {
 		backbone = k.z.Upstream(k.size)
 	}
+	rec := ctx.Rec
+	if rec == nil {
+		rec = k.z.Rec
+	}
 	kt := &core.KnowTrans{
 		Upstream: backbone,
 		Patches:  k.z.Patches(k.size),
@@ -107,7 +111,7 @@ func (k *ktMethod) Adapt(ctx *baselines.AdaptContext) baselines.Predictor {
 		UseSKC:   k.useSKC,
 		UseAKB:   k.useAKB,
 		SKC:      skc.Options{Strategy: k.strategy},
-		Rec:      k.z.Rec,
+		Rec:      rec,
 	}
 	ad, err := kt.Transfer(ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
 	if err != nil {
@@ -120,6 +124,10 @@ func (k *ktMethod) Adapt(ctx *baselines.AdaptContext) baselines.Predictor {
 // knowledge) for experiments that inspect internals (Table VI, Fig. 7).
 func (z *Zoo) AdaptKnowTrans(ctx *baselines.AdaptContext, size Size, useSKC, useAKB bool, strategy lora.WeightStrategy, akbCfg akb.Config) (*core.Adapted, error) {
 	backbone := z.Upstream(size)
+	rec := ctx.Rec
+	if rec == nil {
+		rec = z.Rec
+	}
 	kt := &core.KnowTrans{
 		Upstream: backbone,
 		Patches:  z.Patches(size),
@@ -128,7 +136,7 @@ func (z *Zoo) AdaptKnowTrans(ctx *baselines.AdaptContext, size Size, useSKC, use
 		UseAKB:   useAKB,
 		SKC:      skc.Options{Strategy: strategy},
 		AKB:      akbCfg,
-		Rec:      z.Rec,
+		Rec:      rec,
 	}
 	return kt.Transfer(ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
 }

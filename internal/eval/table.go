@@ -129,13 +129,33 @@ func (t *Table) Render() string {
 	return sb.String()
 }
 
-// Cell returns a cell value (0 and false when absent).
+// CellAt returns the cell at (task, dataset, column), skipping synthesized
+// average rows (0 and false when absent). Dataset names repeat across tasks
+// — Rayyan appears under both ED and DC, Beer under ED and DC — so lookups
+// must be task-qualified to read the right task's score.
+func (t *Table) CellAt(task, dataset, column string) (float64, bool) {
+	for _, r := range t.Rows {
+		if r.IsAverage || r.Task != task || r.Dataset != dataset {
+			continue
+		}
+		v, ok := r.Cells[column]
+		return v, ok
+	}
+	return 0, false
+}
+
+// Cell returns the first non-average cell whose row matches dataset alone
+// (0 and false when absent).
+//
+// Deprecated: dataset names are not unique across tasks, so this can read
+// the wrong task's row; use CellAt.
 func (t *Table) Cell(dataset, column string) (float64, bool) {
 	for _, r := range t.Rows {
-		if r.Dataset == dataset {
-			v, ok := r.Cells[column]
-			return v, ok
+		if r.IsAverage || r.Dataset != dataset {
+			continue
 		}
+		v, ok := r.Cells[column]
+		return v, ok
 	}
 	return 0, false
 }

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCellAtDisambiguatesTasks covers the Rayyan case: the same dataset
+// name under two tasks must resolve by task, and synthesized average rows
+// must never satisfy a lookup.
+func TestCellAtDisambiguatesTasks(t *testing.T) {
+	tb := &Table{ID: "t", Title: "x", Columns: []string{"A"}}
+	tb.AddRow("ED", "Rayyan", map[string]float64{"A": 10})
+	tb.AddRow("ED", "Flights", map[string]float64{"A": 20})
+	tb.AddRow("DC", "Rayyan", map[string]float64{"A": 70})
+	avg := tb.WithAverages()
+
+	if v, ok := avg.CellAt("DC", "Rayyan", "A"); !ok || v != 70 {
+		t.Fatalf("CellAt(DC, Rayyan) = %v/%v, want 70", v, ok)
+	}
+	if v, ok := avg.CellAt("ED", "Rayyan", "A"); !ok || v != 10 {
+		t.Fatalf("CellAt(ED, Rayyan) = %v/%v, want 10", v, ok)
+	}
+	if _, ok := avg.CellAt("SM", "Rayyan", "A"); ok {
+		t.Fatal("CellAt must miss on a task with no such dataset")
+	}
+	if _, ok := avg.CellAt("ED", "Average", "A"); ok {
+		t.Fatal("CellAt must not match synthesized average rows")
+	}
+	// The deprecated shim still resolves by dataset alone (first row wins)
+	// but must skip average rows too.
+	if v, ok := avg.Cell("Rayyan", "A"); !ok || v != 10 {
+		t.Fatalf("Cell(Rayyan) = %v/%v, want first non-average row 10", v, ok)
+	}
+	if _, ok := avg.Cell("Average (all)", "A"); ok {
+		t.Fatal("Cell must not match the overall average row")
+	}
+}
+
+// TestWithAveragesSparseCells checks that a column missing from some rows
+// averages over only the rows that have it, instead of being dragged toward
+// zero by absentees.
+func TestWithAveragesSparseCells(t *testing.T) {
+	tb := &Table{ID: "t", Title: "x", Columns: []string{"A", "B"}}
+	tb.AddRow("ED", "d1", map[string]float64{"A": 10, "B": 100})
+	tb.AddRow("ED", "d2", map[string]float64{"A": 30}) // no B
+	avg := tb.WithAverages()
+	var taskRow Row
+	for _, r := range avg.Rows {
+		if r.IsAverage && r.Task == "ED" {
+			taskRow = r
+		}
+	}
+	if taskRow.Cells == nil {
+		t.Fatal("no ED average row synthesized")
+	}
+	if v := taskRow.Cells["A"]; v != 20 {
+		t.Fatalf("sparse average A = %v, want 20", v)
+	}
+	if v := taskRow.Cells["B"]; v != 100 {
+		t.Fatalf("sparse average B = %v, want 100 (only d1 has B)", v)
+	}
+}
+
+// TestWithAveragesSingleDatasetTask checks no per-task average row is
+// synthesized for a task with one dataset (the paper's CTA/SM layout),
+// while the overall average still appears.
+func TestWithAveragesSingleDatasetTask(t *testing.T) {
+	tb := &Table{ID: "t", Title: "x", Columns: []string{"A"}}
+	tb.AddRow("CTA", "SOTAB", map[string]float64{"A": 40})
+	tb.AddRow("ED", "d1", map[string]float64{"A": 10})
+	tb.AddRow("ED", "d2", map[string]float64{"A": 20})
+	avg := tb.WithAverages()
+	for _, r := range avg.Rows {
+		if r.IsAverage && r.Task == "CTA" {
+			t.Fatal("single-dataset task must not get a per-task average row")
+		}
+	}
+	var overall, got bool
+	for _, r := range avg.Rows {
+		if r.IsAverage && r.Dataset == "Average (all)" {
+			overall = true
+			got = r.Cells["A"] == (40.0+10+20)/3
+		}
+	}
+	if !overall || !got {
+		t.Fatalf("overall average row missing or wrong: %+v", avg.Rows)
+	}
+}
+
+// TestRenderAlignsMissingCells checks that "-" cells keep the column grid
+// aligned: every rendered row must have the same width.
+func TestRenderAlignsMissingCells(t *testing.T) {
+	tb := &Table{ID: "t", Title: "x", Columns: []string{"Alpha", "B"}}
+	tb.AddRow("ED", "long-dataset-name", map[string]float64{"Alpha": 123.45, "B": 6})
+	tb.AddRow("ED", "short", map[string]float64{"B": 7}) // Alpha rendered "-"
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	header := lines[1]
+	alphaCol := strings.Index(header, "Alpha")
+	bCol := strings.Index(header, "B")
+	if alphaCol < 0 || bCol < 0 {
+		t.Fatalf("header missing columns: %q", header)
+	}
+	var full, sparse string
+	for _, line := range lines {
+		if strings.Contains(line, "long-dataset-name") {
+			full = line
+		}
+		if strings.Contains(line, "short") {
+			sparse = line
+		}
+	}
+	// The numeric value and the "-" placeholder must start in the same
+	// column slot the header reserves, keeping the grid aligned.
+	if got := strings.Index(full, "123.45"); got != alphaCol {
+		t.Fatalf("value starts at col %d, header Alpha at %d:\n%s", got, alphaCol, out)
+	}
+	if got := strings.Index(sparse, "-"); got != alphaCol {
+		t.Fatalf("dash starts at col %d, header Alpha at %d:\n%s", got, alphaCol, out)
+	}
+	if full[bCol] != '6' || sparse[bCol] != '7' {
+		t.Fatalf("B column misaligned after dash cell:\n%s", out)
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/data"
@@ -73,11 +72,21 @@ func (s Size) pretrainSamples() int {
 // Zoo builds and caches every artifact the experiments share: generated
 // datasets, pretrained bases, upstream-SFT'd DP-LLMs, extracted patch
 // libraries, and MELD centroids. All artifacts are deterministic in
-// (Seed, Scale). A Zoo is safe for use from one goroutine per experiment;
-// the internal cache is mutex-guarded so experiments can share one Zoo.
+// (Seed, Scale) and immutable once built (methods clone models before
+// training them), so the cache is safe to hit from many experiment cells
+// at once: concurrent requests for an artifact being built sleep on a
+// condition variable until the builder publishes it.
 type Zoo struct {
 	Seed  int64
 	Scale float64
+
+	// Workers is the fan-out of the experiment cell pool (see runCells):
+	// grids of independent (dataset × method) cells are evaluated by this
+	// many goroutines. Values <= 1 keep today's serial path, running every
+	// cell inline on the calling goroutine. Results are identical at any
+	// worker count — cells derive their seeds from content-addressed keys,
+	// not from execution order.
+	Workers int
 
 	// Rec, when set before the first artifact is built, threads
 	// observability through every model the zoo constructs and every
@@ -86,8 +95,10 @@ type Zoo struct {
 	// Leave nil for uninstrumented runs.
 	Rec *obs.Recorder
 
-	mu    sync.Mutex
-	cache map[string]interface{}
+	mu       sync.Mutex
+	cond     sync.Cond // lazily bound to mu; broadcast when a build finishes
+	cache    map[string]interface{}
+	building map[string]bool // keys whose build is in flight
 }
 
 // NewZoo returns a Zoo generating datasets at the given scale of the
@@ -101,40 +112,52 @@ func NewZoo(seed int64, scale float64) *Zoo {
 
 // memo caches build results by key. The lock is NOT held while build runs —
 // builders recursively request other artifacts (Upstream needs Base), and a
-// held mutex would self-deadlock. Concurrent duplicate builds are prevented
-// by a per-key in-flight marker.
+// held mutex would self-deadlock. Duplicate concurrent builds are prevented
+// by a per-key building marker; waiters block on the condition variable
+// instead of sleep-polling and are woken by the broadcast every finished
+// build sends. The marker is cleared under defer so a builder that panics
+// releases the slot and wakes its waiters — one of them retries the build —
+// rather than leaking a marker nobody owns and wedging every later request
+// for the key.
 func (z *Zoo) memo(key string, build func() interface{}) interface{} {
 	z.mu.Lock()
+	if z.cond.L == nil {
+		z.cond.L = &z.mu
+	}
+	if z.cache == nil {
+		z.cache = map[string]interface{}{}
+	}
+	if z.building == nil {
+		z.building = map[string]bool{}
+	}
 	for {
 		if v, ok := z.cache[key]; ok {
-			if v != inFlight {
-				z.mu.Unlock()
-				return v
-			}
-			// Another goroutine is building this artifact; wait.
 			z.mu.Unlock()
-			z.wait()
-			z.mu.Lock()
-			continue
+			return v
 		}
-		break
+		if !z.building[key] {
+			break
+		}
+		z.cond.Wait()
 	}
-	z.cache[key] = inFlight
+	z.building[key] = true
 	z.mu.Unlock()
 
-	v := build()
-
-	z.mu.Lock()
-	z.cache[key] = v
-	z.mu.Unlock()
+	var v interface{}
+	built := false
+	defer func() {
+		z.mu.Lock()
+		delete(z.building, key)
+		if built {
+			z.cache[key] = v
+		}
+		z.cond.Broadcast()
+		z.mu.Unlock()
+	}()
+	v = build()
+	built = true
 	return v
 }
-
-// inFlight marks a cache slot whose artifact is being built.
-var inFlight = new(int)
-
-// wait yields briefly while another goroutine finishes a build.
-func (z *Zoo) wait() { time.Sleep(5 * time.Millisecond) }
 
 // Downstream returns the 13 novel datasets of Table I.
 func (z *Zoo) Downstream() []*datagen.Bundle {

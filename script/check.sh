@@ -1,9 +1,12 @@
 #!/bin/sh
 # Tier-1 gate: formatting, vet, build, and the race-sensitive test
-# packages (the obs registry/tracer/analyzer and the concurrent AKB loop).
-# Tier-2 gate: run a tiny seeded experiment twice and require `knowtrans
-# obs diff -strict` to report zero regressions (the determinism gate), and
-# require the trace analyzer's self-time accounting to cover the root span.
+# packages (the obs registry/tracer/analyzer, the concurrent AKB loop, and
+# the parallel experiment harness in eval).
+# Tier-2 gate: run a tiny seeded experiment serially twice and once with
+# four workers, and require `knowtrans obs diff -strict` to report zero
+# regressions across all three (the determinism gate), byte-identical
+# rendered tables between the serial and parallel runs, and the trace
+# analyzer's self-time accounting to cover the root span.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -17,7 +20,7 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./internal/obs/... ./internal/akb/...
+go test -race ./internal/obs/... ./internal/akb/... ./internal/eval/...
 echo "check.sh: tier-1 gates passed"
 
 # --- tier-2: telemetry determinism gate ------------------------------------
@@ -25,29 +28,57 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/knowtrans" ./cmd/knowtrans
-"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 \
-	-bench "$tmp/a.json" -trace "$tmp/a.jsonl" >/dev/null
-"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 \
+"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 -workers 1 \
+	-bench "$tmp/a.json" -trace "$tmp/a.jsonl" >"$tmp/a.out"
+"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 -workers 1 \
 	-bench "$tmp/b.json" >/dev/null
+"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 -workers 4 \
+	-bench "$tmp/p.json" -trace "$tmp/p.jsonl" >"$tmp/p.out"
 
-# Identical seeds must produce identical metrics (wall time is exempt).
-"$tmp/knowtrans" obs diff "$tmp/a.json" "$tmp/b.json" -strict >/dev/null || {
-	echo "check.sh: determinism gate failed — obs diff found changes:" >&2
-	"$tmp/knowtrans" obs diff "$tmp/a.json" "$tmp/b.json" -strict >&2 || true
+# Identical seeds must produce identical metrics (wall time is exempt):
+# serial vs serial, and serial vs four workers.
+for other in b p; do
+	"$tmp/knowtrans" obs diff "$tmp/a.json" "$tmp/$other.json" -strict >/dev/null || {
+		echo "check.sh: determinism gate failed — obs diff a vs $other found changes:" >&2
+		"$tmp/knowtrans" obs diff "$tmp/a.json" "$tmp/$other.json" -strict >&2 || true
+		exit 1
+	}
+done
+
+# The rendered tables must be byte-identical too. Only the wall-time
+# trailer "(table6 in ...)" and the "wrote BENCH..." line vary per run.
+sed -e '/^(/d' -e '/^wrote /d' "$tmp/a.out" >"$tmp/a.flat"
+sed -e '/^(/d' -e '/^wrote /d' "$tmp/p.out" >"$tmp/p.flat"
+cmp -s "$tmp/a.flat" "$tmp/p.flat" || {
+	echo "check.sh: parallel run rendered different tables than serial:" >&2
+	diff "$tmp/a.flat" "$tmp/p.flat" >&2 || true
 	exit 1
 }
 
 # The analyzer's per-stage self times must account for the root span's
-# duration (the ISSUE's 5% acceptance bound).
+# duration (the ISSUE's 5% acceptance bound). A serial trace has one
+# timeline, so coverage is bounded both ways; a parallel trace holds
+# overlapping worker spans whose self times sum past the root's wall time,
+# so only the lower bound applies there.
 coverage=$("$tmp/knowtrans" obs trace "$tmp/a.jsonl" | sed -n 's/^self-time coverage: \([0-9.]*\)%.*/\1/p')
 if [ -z "$coverage" ]; then
-	echo "check.sh: obs trace printed no coverage line" >&2
+	echo "check.sh: obs trace printed no coverage line for serial run" >&2
 	exit 1
 fi
 ok=$(awk -v c="$coverage" 'BEGIN { print (c >= 95.0 && c <= 105.0) ? 1 : 0 }')
 if [ "$ok" != 1 ]; then
-	echo "check.sh: self-time coverage $coverage% outside [95,105]" >&2
+	echo "check.sh: serial self-time coverage $coverage% outside [95,105]" >&2
 	exit 1
 fi
-echo "check.sh: tier-2 determinism gate passed (coverage $coverage%)"
+pcov=$("$tmp/knowtrans" obs trace "$tmp/p.jsonl" | sed -n 's/^self-time coverage: \([0-9.]*\)%.*/\1/p')
+if [ -z "$pcov" ]; then
+	echo "check.sh: obs trace printed no coverage line for parallel run" >&2
+	exit 1
+fi
+ok=$(awk -v c="$pcov" 'BEGIN { print (c >= 95.0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+	echo "check.sh: parallel self-time coverage $pcov% below 95" >&2
+	exit 1
+fi
+echo "check.sh: tier-2 determinism gate passed (coverage serial $coverage%, 4 workers $pcov%)"
 echo "check.sh: all gates passed"
