@@ -17,7 +17,9 @@
 // -metrics FILE.json, and -pprof ADDR (see internal/obs and the
 // "Observability" section of DESIGN.md). `knowtrans experiment` also
 // writes a machine-readable BENCH_run.json run record (-bench to rename,
-// -bench "" to disable).
+// -bench "" to disable) and accepts -faults to run the grid under seeded
+// chaos injection on the oracle path (see internal/faults and the
+// "Resilience & chaos testing" section of DESIGN.md).
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/oracle"
 	"repro/internal/tasks"
@@ -66,7 +69,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   knowtrans list
   knowtrans experiment <id|all> [-scale S] [-reps N] [-seed K] [-workers W]
-                       [-bench FILE.json] [obs flags]
+                       [-bench FILE.json] [-faults rate=R,seed=S[,kinds=a+b]] [obs flags]
   knowtrans build [-artifacts DIR] [-scale S] [-seed K] [obs flags]
   knowtrans transfer -dataset <task/name> [-artifacts DIR] [-scale S] [-seed K] [obs flags]
   knowtrans obs trace FILE.jsonl [-top N] [-json]
@@ -105,6 +108,8 @@ func runExperiment(args []string) {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"experiment cell workers (1 = serial; results are identical at any count)")
 	benchPath := fs.String("bench", "BENCH_run.json", "write a machine-readable run record to `file` (empty to disable)")
+	faultSpec := fs.String("faults", "",
+		"inject oracle faults, `spec` rate=R,seed=S[,kinds=a+b][,latency=D] (chaos testing; see internal/faults)")
 	of := addObsFlags(fs)
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "knowtrans: experiment needs an id (or `all`)")
@@ -120,6 +125,13 @@ func runExperiment(args []string) {
 	z := eval.NewZoo(*seed, *scale)
 	z.Rec = rec
 	z.Workers = *workers
+	if *faultSpec != "" {
+		fcfg, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		z.Faults = &fcfg
+	}
 
 	bench := &BenchRun{}
 	run := func(e eval.Experiment) {

@@ -10,6 +10,7 @@
 package akb
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/data"
@@ -94,32 +95,84 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
+// Normalize fills every unset (zero) field of the config with the paper
+// default of DefaultConfig, preserving fields the caller did set. It
+// replaces the old all-or-nothing sentinel (Iterations == 0 used to clobber
+// an explicitly populated Config with DefaultConfig wholesale); Search
+// normalizes its config on entry, so a Config{Iterations: 7} now means
+// "7 iterations, paper defaults for the rest".
+func (c Config) Normalize() Config {
+	d := DefaultConfig(c.Seed)
+	if c.Iterations == 0 {
+		c.Iterations = d.Iterations
+	}
+	if c.GenExamples == 0 {
+		c.GenExamples = d.GenExamples
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = d.PoolSize
+	}
+	if c.RefinePerIter == 0 {
+		c.RefinePerIter = d.RefinePerIter
+	}
+	if c.ErrorsPerSubset == 0 {
+		c.ErrorsPerSubset = d.ErrorsPerSubset
+	}
+	return c
+}
+
 // Step records one iteration for the round-count analysis of Fig. 7.
+// Degraded counts the oracle interactions of the iteration that failed and
+// were skipped (feedback or refinement rounds); 0 on a healthy iteration.
 type Step struct {
 	Iter      int
 	EvalScore float64
 	TestScore float64 // -1 when no probe set was supplied
 	PoolSize  int
+	Degraded  int
 }
 
-// Result is the outcome of the search.
+// Result is the outcome of the search. DegradedRounds totals the oracle
+// interactions (generation, feedback, refinement) that failed and were
+// skipped — the search kept its best-so-far knowledge instead of aborting;
+// Rejected counts oracle-returned candidates dropped as malformed before
+// evaluation. Both are 0 on a fully healthy run.
 type Result struct {
-	Best      *tasks.Knowledge
-	BestScore float64
-	Steps     []Step
-	Feedbacks []string
+	Best           *tasks.Knowledge
+	BestScore      float64
+	Steps          []Step
+	Feedbacks      []string
+	DegradedRounds int
+	Rejected       int
 }
+
+// Degraded reports whether any oracle interaction of the search failed.
+func (r *Result) Degraded() bool { return r.DegradedRounds > 0 }
 
 // Search runs Algorithm 2. valid is the validation split (the paper reuses
 // the few-shot set D'_i); probe, when non-nil, is an extra held-out set
 // scored each iteration purely for reporting (Fig. 7's test curves) — it
 // never influences the search.
+//
+// Search assumes an infallible oracle (the in-process simulation); use
+// SearchFallible for an oracle that can time out, rate-limit or return
+// garbage — a remote API, or anything wrapped by internal/faults and
+// internal/resilience.
 func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instance, probe []*data.Instance, cfg Config) *Result {
-	if cfg.Iterations == 0 {
-		rec := cfg.Rec
-		cfg = DefaultConfig(cfg.Seed)
-		cfg.Rec = rec
-	}
+	return SearchFallible(context.Background(), pred, AsFallible(oracle), kind, valid, probe, cfg)
+}
+
+// SearchFallible runs Algorithm 2 against an oracle that may fail. A failed
+// or exhausted Generation / Feedback / Refinement round is skipped rather
+// than fatal: the search keeps its best-so-far knowledge, records a
+// degraded Step, and the Result reports how many rounds degraded.
+// Candidates returned by the oracle are sanitized (SanitizeCandidates)
+// before they reach Evaluate, so malformed responses cannot poison the
+// selection. SearchFallible always returns a non-nil Result — in the worst
+// case (every oracle call failing) the result is the no-knowledge baseline
+// scored on the validation set.
+func SearchFallible(ctx context.Context, pred Predictor, oracle FallibleOracle, kind tasks.Kind, valid []*data.Instance, probe []*data.Instance, cfg Config) *Result {
+	cfg = cfg.Normalize()
 	rec, searchSpan := cfg.Rec.StartSpan("akb.search")
 	defer searchSpan.End()
 	searchSpan.SetAttr("kind", string(kind))
@@ -128,21 +181,47 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	spec := tasks.SpecFor(kind)
 
+	res := &Result{}
+	// degrade records one skipped oracle interaction: the counters and the
+	// trace carry enough to reconstruct the fault schedule offline.
+	degrade := func(r *obs.Recorder, op string, err error) {
+		res.DegradedRounds++
+		r.Count("akb.oracle_errors", 1)
+		r.Count("akb.degraded_rounds", 1)
+		r.Event("akb.degraded", "op", op, "err", err.Error())
+	}
+	// admit sanitizes an oracle response before it joins the pool.
+	admit := func(r *obs.Recorder, ks []*tasks.Knowledge) []*tasks.Knowledge {
+		kept, rejected := SanitizeCandidates(ks)
+		if rejected > 0 {
+			res.Rejected += rejected
+			r.Count("akb.candidates_rejected", int64(rejected))
+		}
+		return kept
+	}
+
 	// Line 1: sample demonstrations X_demos ⊂ D_valid.
 	demos := sampleInstances(rng, valid, cfg.GenExamples)
 
 	// Line 2: initial candidate pool via Eq. 7. The empty knowledge is
 	// always a candidate so the search can conclude "no knowledge helps"
-	// (the AVE behaviour in Fig. 7b).
+	// (the AVE behaviour in Fig. 7b) — and so a dead oracle still leaves a
+	// scorable pool.
 	pool := []*tasks.Knowledge{nil}
-	_, genSpan := rec.StartSpan("akb.generation")
+	genRec, genSpan := rec.StartSpan("akb.generation")
 	rec.Count("akb.oracle_calls", 1)
 	rec.Count("akb.oracle.generate", 1)
-	pool = append(pool, oracle.Generate(GenerateRequest{
+	generated, err := oracle.Generate(ctx, GenerateRequest{
 		Kind:     kind,
 		Examples: demos,
 		PoolSize: cfg.PoolSize,
-	})...)
+	})
+	if err != nil {
+		degrade(genRec, "generate", err)
+		genSpan.SetAttr("degraded", true)
+	} else {
+		pool = append(pool, admit(genRec, generated)...)
+	}
 	genSpan.SetAttr("pool_size", len(pool))
 	genSpan.End()
 
@@ -171,10 +250,16 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 		return informativeness(a) > informativeness(b)
 	}
 
-	res := &Result{}
 	for t := 0; t < cfg.Iterations; t++ {
 		iterRec, iterSpan := rec.StartSpan("akb.iteration")
 		iterSpan.SetAttr("iter", t)
+		degradedBefore := res.DegradedRounds
+		if len(pool) == 0 {
+			// Defensive: selection must never run on an empty pool (an
+			// oracle returning nothing leaves at least the nil baseline,
+			// but external callers could hand Search a drained pool path).
+			pool = []*tasks.Knowledge{nil}
+		}
 		// Line 5: select the best candidate under the task metric (Eq. 8).
 		_, evalSpan := iterRec.StartSpan("akb.evaluation")
 		best := pool[0]
@@ -202,6 +287,7 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 			step.TestScore = Evaluate(pred, spec, probe, best)
 		}
 		res.Steps = append(res.Steps, step)
+		stepIdx := len(res.Steps) - 1
 		res.Best, res.BestScore = best, scoreOf(best)
 		iterRec.SetGauge("akb.best_score", res.BestScore)
 		iterSpan.SetAttr("best_score", res.BestScore)
@@ -221,33 +307,54 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 			break
 		}
 		// Lines 7–11: feedback + refinement over sampled error subsets,
-		// carrying the full trajectory (Eq. 11).
+		// carrying the full trajectory (Eq. 11). A failed feedback skips its
+		// whole subset round (refinement without the analysis would refine
+		// blind); a failed refinement keeps the feedback but adds no
+		// candidates. Either way the search continues from its best-so-far
+		// pool.
 		trajectory := append([]*tasks.Knowledge(nil), pool...)
 		for j := 0; j < cfg.RefinePerIter; j++ {
 			subset := sampleErrors(rng, errs, cfg.ErrorsPerSubset)
-			_, fbSpan := iterRec.StartSpan("akb.feedback")
+			fbRec, fbSpan := iterRec.StartSpan("akb.feedback")
 			fbSpan.SetAttr("errors", len(subset))
 			iterRec.Count("akb.oracle_calls", 1)
 			iterRec.Count("akb.oracle.feedback", 1)
-			fb := oracle.Feedback(FeedbackRequest{Kind: kind, Knowledge: best, Errors: subset})
+			fb, err := oracle.Feedback(ctx, FeedbackRequest{Kind: kind, Knowledge: best, Errors: subset})
+			if err != nil {
+				degrade(fbRec, "feedback", err)
+				fbSpan.SetAttr("degraded", true)
+				fbSpan.End()
+				continue
+			}
 			fbSpan.End()
 			iterRec.Event("akb.feedback", "iter", t, "subset", j,
 				"errors", len(subset), "feedback", clip(fb, 200))
 			res.Feedbacks = append(res.Feedbacks, fb)
-			_, refSpan := iterRec.StartSpan("akb.refinement")
+			refRec, refSpan := iterRec.StartSpan("akb.refinement")
 			iterRec.Count("akb.oracle_calls", 1)
 			iterRec.Count("akb.oracle.refine", 1)
-			refined := oracle.Refine(RefineRequest{
+			refined, err := oracle.Refine(ctx, RefineRequest{
 				Kind:       kind,
 				Knowledge:  best,
 				Errors:     subset,
 				Feedback:   fb,
 				Trajectory: trajectory,
 			})
+			if err != nil {
+				degrade(refRec, "refine", err)
+				refSpan.SetAttr("degraded", true)
+				refSpan.End()
+				continue
+			}
+			refined = admit(refRec, refined)
 			refSpan.SetAttr("refined", len(refined))
 			refSpan.End()
 			iterRec.Event("akb.refined", "iter", t, "subset", j, "candidates", len(refined))
 			pool = append(pool, refined...)
+		}
+		if d := res.DegradedRounds - degradedBefore; d > 0 {
+			res.Steps[stepIdx].Degraded = d
+			iterSpan.SetAttr("degraded", d)
 		}
 		iterSpan.End()
 	}
@@ -260,6 +367,12 @@ func Search(pred Predictor, oracle Oracle, kind tasks.Kind, valid []*data.Instan
 	}
 	searchSpan.SetAttr("best_score", res.BestScore)
 	searchSpan.SetAttr("pool_size", len(pool))
+	if res.Degraded() {
+		searchSpan.SetAttr("degraded_rounds", res.DegradedRounds)
+	}
+	if res.Rejected > 0 {
+		searchSpan.SetAttr("rejected_candidates", res.Rejected)
+	}
 	rec.Event("akb.selected", "score", res.BestScore, "pool", len(pool),
 		"informativeness", informativeness(res.Best))
 	return res
@@ -288,8 +401,13 @@ func informativeness(k *tasks.Knowledge) float64 {
 }
 
 // Evaluate scores the predictor on instances under knowledge k with the
-// task metric (Eq. 8).
+// task metric (Eq. 8). An empty instance set scores 0 without touching the
+// predictor — the guard that keeps score math away from 0/0 when a caller
+// hands the search an empty validation split.
 func Evaluate(pred Predictor, spec tasks.Spec, ins []*data.Instance, k *tasks.Knowledge) float64 {
+	if len(ins) == 0 {
+		return 0
+	}
 	metric := tasks.NewMetric(spec.Metric)
 	for _, in := range ins {
 		metric.Add(pred.PredictWith(spec, in, k), in.GoldText())

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/akb"
@@ -33,6 +34,12 @@ type KnowTrans struct {
 	Upstream *model.Model
 	Patches  []*skc.NamedSnapshot
 	Oracle   akb.Oracle
+
+	// Fallible, when non-nil, takes precedence over Oracle: AKB runs
+	// through the error-aware search path (akb.SearchFallible) and degrades
+	// gracefully when calls fail. This is how a remote-API oracle — or the
+	// chaos chain of internal/faults + internal/resilience — plugs in.
+	Fallible akb.FallibleOracle
 
 	SKC skc.Options
 	AKB akb.Config
@@ -138,19 +145,21 @@ func (kt *KnowTrans) Transfer(kind tasks.Kind, fewshot []*data.Instance, seed in
 	}
 
 	if kt.UseAKB {
-		if kt.Oracle == nil {
-			return nil, fmt.Errorf("core: AKB enabled but no oracle configured")
+		fo := kt.Fallible
+		if fo == nil {
+			if kt.Oracle == nil {
+				return nil, fmt.Errorf("core: AKB enabled but no oracle configured")
+			}
+			fo = akb.AsFallible(kt.Oracle)
 		}
+		// SearchFallible normalizes the config (unset fields get the paper
+		// defaults, caller-set fields survive).
 		cfg := kt.AKB
-		if cfg.Iterations == 0 {
-			cfg = akb.DefaultConfig(seed)
-			cfg.Rec = kt.AKB.Rec
-		}
 		cfg.Seed = seed
 		if rec != nil {
 			cfg.Rec = rec
 		}
-		res := akb.Search(ad.Model, kt.Oracle, kind, fewshot, nil, cfg)
+		res := akb.SearchFallible(context.Background(), ad.Model, fo, kind, fewshot, nil, cfg)
 		ad.Knowledge, ad.AKBResult = res.Best, res
 	}
 	return ad, nil

@@ -146,8 +146,8 @@ func runAblateOracle(z *Zoo, reps int) *Table {
 						col  string
 						temp float64
 					}{{"temp-0", 0}, {"temp-0.9", 0.9}} {
-						res := akb.Search(ad.Model, oracle.NewWithTemperature(ctx.Seed+771, v.temp),
-							b.Kind, fewshot, nil, akb.DefaultConfig(ctx.Seed))
+						res := z.searchAKB(ad.Model, oracle.NewWithTemperature(ctx.Seed+771, v.temp),
+							b.Kind, fewshot, nil, akb.DefaultConfig(ctx.Seed), ctx.Seed, rec)
 						cells[v.col] += akb.Evaluate(ad.Model, spec, b.DS.Test, res.Best)
 					}
 				}

@@ -167,7 +167,7 @@ func runFig7(z *Zoo, reps int) *Table {
 					}
 					cfg := akb.DefaultConfig(ctx.Seed)
 					cfg.Iterations = rounds
-					res := akb.Search(ad.Model, oracle.New(ctx.Seed+771), b.Kind, valHalf, probe, cfg)
+					res := z.searchAKB(ad.Model, oracle.New(ctx.Seed+771), b.Kind, valHalf, probe, cfg, ctx.Seed, rec)
 					last := akb.Step{TestScore: -1}
 					for r := 0; r < rounds; r++ {
 						step := last

@@ -107,7 +107,7 @@ func (k *ktMethod) Adapt(ctx *baselines.AdaptContext) baselines.Predictor {
 	kt := &core.KnowTrans{
 		Upstream: backbone,
 		Patches:  k.z.Patches(k.size),
-		Oracle:   oracle.New(ctx.Seed + 771),
+		Fallible: k.z.fallibleOracle(oracle.New(ctx.Seed+771), ctx.Seed, rec),
 		UseSKC:   k.useSKC,
 		UseAKB:   k.useAKB,
 		SKC:      skc.Options{Strategy: k.strategy},
@@ -131,7 +131,7 @@ func (z *Zoo) AdaptKnowTrans(ctx *baselines.AdaptContext, size Size, useSKC, use
 	kt := &core.KnowTrans{
 		Upstream: backbone,
 		Patches:  z.Patches(size),
-		Oracle:   oracle.New(ctx.Seed + 771),
+		Fallible: z.fallibleOracle(oracle.New(ctx.Seed+771), ctx.Seed, rec),
 		UseSKC:   useSKC,
 		UseAKB:   useAKB,
 		SKC:      skc.Options{Strategy: strategy},

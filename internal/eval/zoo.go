@@ -12,6 +12,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/data"
 	"repro/internal/datagen"
+	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -94,6 +95,14 @@ type Zoo struct {
 	// per-cell wall-time histogram (eval.cell_us and eval.cell_us/<method>).
 	// Leave nil for uninstrumented runs.
 	Rec *obs.Recorder
+
+	// Faults, when non-nil, arms chaos injection on the oracle path: every
+	// AKB search runs against the simulated oracle wrapped in a seeded
+	// faults.Injector and a resilience.ResilientOracle (see fallibleOracle).
+	// The spec's Seed is a base that each cell folds its own seed into, so
+	// fault schedules are reproducible and worker-order independent. Nil —
+	// the default — is the unwrapped, byte-identical production path.
+	Faults *faults.Config
 
 	mu       sync.Mutex
 	cond     sync.Cond // lazily bound to mu; broadcast when a build finishes

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCanonicalTraceZeroesTiming(t *testing.T) {
+	in := []SpanRecord{
+		{Span: 1, Name: "root", StartUS: 100, DurUS: 5000,
+			Attrs: map[string]any{"kind": "ED", "wall_s": 1.5, "backoff_us": int64(300), "attempts": 2}},
+		{Span: 2, Parent: 1, Kind: KindEvent, Name: "evt", StartUS: 7, DurUS: 0,
+			Attrs: map[string]any{"step_us": 9}},
+		{Span: 3, Parent: 1, Name: "bare", StartUS: 42, DurUS: 1},
+	}
+	// Deep-copy to verify the input survives untouched.
+	orig := make([]SpanRecord, len(in))
+	for i, r := range in {
+		orig[i] = r
+		if r.Attrs != nil {
+			orig[i].Attrs = map[string]any{}
+			for k, v := range r.Attrs {
+				orig[i].Attrs[k] = v
+			}
+		}
+	}
+
+	out := CanonicalTrace(in)
+	want := []SpanRecord{
+		{Span: 1, Name: "root", Attrs: map[string]any{"kind": "ED", "attempts": 2}},
+		{Span: 2, Parent: 1, Kind: KindEvent, Name: "evt"},
+		{Span: 3, Parent: 1, Name: "bare"},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("canonical form wrong:\n got %+v\nwant %+v", out, want)
+	}
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatalf("CanonicalTrace mutated its input: %+v", in)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -157,6 +158,36 @@ func (t *Tracer) Close() error {
 		}
 	}
 	return t.err
+}
+
+// CanonicalTrace rewrites trace records into a timing-free canonical form
+// for byte-comparison across runs: StartUS and DurUS are zeroed and
+// wall-clock-valued attributes (key suffix "_us" or "_s") are dropped. Span
+// ids, parentage, names, and the remaining attributes are untouched — for a
+// seeded serial workload they are deterministic, so two runs produce
+// byte-identical canonical traces even though every raw timestamp differs.
+// This is what the chaos tests pin fault-schedule reproducibility with. The
+// input is not mutated.
+func CanonicalTrace(recs []SpanRecord) []SpanRecord {
+	out := make([]SpanRecord, len(recs))
+	for i, r := range recs {
+		r.StartUS, r.DurUS = 0, 0
+		if len(r.Attrs) > 0 {
+			attrs := make(map[string]any, len(r.Attrs))
+			for k, v := range r.Attrs {
+				if strings.HasSuffix(k, "_us") || strings.HasSuffix(k, "_s") {
+					continue
+				}
+				attrs[k] = v
+			}
+			if len(attrs) == 0 {
+				attrs = nil
+			}
+			r.Attrs = attrs
+		}
+		out[i] = r
+	}
+	return out
 }
 
 // ReadTrace parses a JSONL trace stream back into records, in file order

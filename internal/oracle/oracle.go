@@ -284,6 +284,14 @@ func (g *GPT) meterOut(response string) {
 	g.Tokens.Output += text.CountTokens(response)
 }
 
+// TokenCount exposes the running totals under the token-meter convention the
+// resilience layer's budget checks (resilience.TokenMeter): a ResilientOracle
+// wrapped around this GPT — directly or through a fault injector — can cap a
+// search's simulated API spend.
+func (g *GPT) TokenCount() (input, output int) {
+	return g.Tokens.Input, g.Tokens.Output
+}
+
 func instancesOf(errs []akb.ErrorCase) []*data.Instance {
 	out := make([]*data.Instance, 0, len(errs))
 	for _, e := range errs {

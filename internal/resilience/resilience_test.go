@@ -1,0 +1,338 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/akb"
+	"repro/internal/tasks"
+)
+
+// seqOracle fails according to a script: errs[i] is returned by call i
+// (nil past the end of the script). It also meters fake tokens.
+type seqOracle struct {
+	errs   []error
+	calls  int
+	tokens int
+}
+
+type tempErr struct{ temp bool }
+
+func (e *tempErr) Error() string   { return "scripted failure" }
+func (e *tempErr) Temporary() bool { return e.temp }
+
+func (o *seqOracle) next() error {
+	i := o.calls
+	o.calls++
+	o.tokens += 10
+	if i < len(o.errs) {
+		return o.errs[i]
+	}
+	return nil
+}
+
+func (o *seqOracle) Generate(context.Context, akb.GenerateRequest) ([]*tasks.Knowledge, error) {
+	if err := o.next(); err != nil {
+		return nil, err
+	}
+	return []*tasks.Knowledge{{Text: "k"}}, nil
+}
+
+func (o *seqOracle) Feedback(context.Context, akb.FeedbackRequest) (string, error) {
+	if err := o.next(); err != nil {
+		return "", err
+	}
+	return "fb", nil
+}
+
+func (o *seqOracle) Refine(context.Context, akb.RefineRequest) ([]*tasks.Knowledge, error) {
+	if err := o.next(); err != nil {
+		return nil, err
+	}
+	return []*tasks.Knowledge{{Text: "r"}}, nil
+}
+
+func (o *seqOracle) TokenCount() (int, int) { return o.tokens, 0 }
+
+func noSleep(time.Duration) {}
+
+func policy() Policy { return Policy{Seed: 1, Sleep: noSleep} }
+
+func TestRetryUntilSuccess(t *testing.T) {
+	inner := &seqOracle{errs: []error{&tempErr{temp: true}, &tempErr{temp: true}}}
+	r := New(inner, policy())
+	ks, err := r.Generate(context.Background(), akb.GenerateRequest{})
+	if err != nil || len(ks) != 1 {
+		t.Fatalf("third attempt should succeed: ks=%v err=%v", ks, err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner saw %d calls, want 3", inner.calls)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	inner := &seqOracle{errs: []error{
+		&tempErr{temp: true}, &tempErr{temp: true}, &tempErr{temp: true},
+	}}
+	r := New(inner, policy())
+	_, err := r.Feedback(context.Background(), akb.FeedbackRequest{})
+	if err == nil {
+		t.Fatal("three transient failures with MaxAttempts=3 should error")
+	}
+	var te *tempErr
+	if !errors.As(err, &te) {
+		t.Fatalf("final error should wrap the last attempt's: %v", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner saw %d calls, want exactly MaxAttempts", inner.calls)
+	}
+}
+
+func TestNonTransientNotRetried(t *testing.T) {
+	inner := &seqOracle{errs: []error{&tempErr{temp: false}}}
+	r := New(inner, policy())
+	_, err := r.Generate(context.Background(), akb.GenerateRequest{})
+	if err == nil {
+		t.Fatal("permanent failure should surface")
+	}
+	if inner.calls != 1 {
+		t.Fatalf("permanent failure retried: %d calls", inner.calls)
+	}
+}
+
+func TestContextCancelNotRetried(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inner := &seqOracle{errs: []error{ctx.Err(), ctx.Err(), ctx.Err()}}
+	r := New(inner, policy())
+	if _, err := r.Refine(ctx, akb.RefineRequest{}); err == nil {
+		t.Fatal("cancellation should surface")
+	}
+	if inner.calls != 1 {
+		t.Fatalf("cancellation retried: %d calls", inner.calls)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	// Script: enough permanent failures to trip the breaker (threshold 2,
+	// permanent so each do() counts exactly one failure), then successes.
+	inner := &seqOracle{errs: []error{
+		&tempErr{temp: false}, &tempErr{temp: false}, // trip at threshold 2
+	}}
+	p := policy()
+	p.BreakerThreshold = 2
+	p.BreakerCooldown = 2
+	p.HalfOpenProbes = 2
+	r := New(inner, p)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := r.Generate(ctx, akb.GenerateRequest{}); err == nil {
+			t.Fatal("scripted failure lost")
+		}
+	}
+	if r.State() != StateOpen {
+		t.Fatalf("breaker should be open after %d consecutive failures, is %v", 2, r.State())
+	}
+
+	// While open, calls are rejected without touching the oracle.
+	before := inner.calls
+	_, err := r.Generate(ctx, akb.GenerateRequest{})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker should short-circuit: %v", err)
+	}
+	if inner.calls != before {
+		t.Fatal("open breaker still called the oracle")
+	}
+
+	// Cooldown=2: the first rejected call above consumed one; the next call
+	// is admitted as a half-open probe and succeeds.
+	if _, err := r.Generate(ctx, akb.GenerateRequest{}); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if r.State() != StateHalfOpen {
+		t.Fatalf("one successful probe of two should leave half-open, is %v", r.State())
+	}
+	if _, err := r.Generate(ctx, akb.GenerateRequest{}); err != nil {
+		t.Fatalf("second probe failed: %v", err)
+	}
+	if r.State() != StateClosed {
+		t.Fatalf("two successful probes should close the breaker, is %v", r.State())
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	inner := &seqOracle{errs: []error{
+		&tempErr{temp: false}, // trips (threshold 1)
+		&tempErr{temp: false}, // the failed probe
+	}}
+	p := policy()
+	p.BreakerThreshold = 1
+	p.BreakerCooldown = 1
+	r := New(inner, p)
+	ctx := context.Background()
+
+	r.Generate(ctx, akb.GenerateRequest{})
+	if r.State() != StateOpen {
+		t.Fatalf("state %v", r.State())
+	}
+	// Cooldown 1 → this call probes immediately, fails, reopens.
+	if _, err := r.Generate(ctx, akb.GenerateRequest{}); err == nil {
+		t.Fatal("failed probe lost")
+	}
+	if r.State() != StateOpen {
+		t.Fatalf("failed probe should reopen the breaker, is %v", r.State())
+	}
+}
+
+func TestCallBudget(t *testing.T) {
+	inner := &seqOracle{}
+	p := policy()
+	p.MaxCalls = 2
+	r := New(inner, p)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := r.Generate(ctx, akb.GenerateRequest{}); err != nil {
+			t.Fatalf("call %d within budget failed: %v", i, err)
+		}
+	}
+	_, err := r.Generate(ctx, akb.GenerateRequest{})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("budget exceeded should fail fast: %v", err)
+	}
+	if inner.calls != 2 {
+		t.Fatalf("budget-rejected call reached the oracle: %d calls", inner.calls)
+	}
+}
+
+func TestTokenBudget(t *testing.T) {
+	inner := &seqOracle{} // 10 tokens per call
+	p := policy()
+	p.MaxTokens = 25
+	r := New(inner, p)
+	ctx := context.Background()
+	var err error
+	for i := 0; i < 5; i++ {
+		if _, err = r.Generate(ctx, akb.GenerateRequest{}); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("token budget never enforced: %v", err)
+	}
+	if inner.calls != 3 { // 10, 20 < 25 admitted; 30 would exceed → 3rd call admitted at 20
+		t.Fatalf("inner saw %d calls, want 3", inner.calls)
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		p := Policy{
+			Seed:      seed,
+			BaseDelay: 10 * time.Millisecond,
+			MaxDelay:  40 * time.Millisecond,
+			Sleep:     func(d time.Duration) { delays = append(delays, d) },
+			// Never trip the breaker so every retry sleeps.
+			BreakerThreshold: -1,
+			MaxAttempts:      4,
+		}
+		inner := &seqOracle{errs: []error{
+			&tempErr{temp: true}, &tempErr{temp: true}, &tempErr{temp: true},
+			&tempErr{temp: true}, &tempErr{temp: true}, &tempErr{temp: true},
+		}}
+		r := New(inner, p)
+		r.Generate(context.Background(), akb.GenerateRequest{})
+		r.Feedback(context.Background(), akb.FeedbackRequest{})
+		return delays
+	}
+	a, b := schedule(7), schedule(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different backoff:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no backoff waits recorded")
+	}
+	for i, d := range a {
+		if d < 10*time.Millisecond || d > 40*time.Millisecond {
+			t.Fatalf("delay %d = %v outside [base, max]", i, d)
+		}
+	}
+	if c := schedule(8); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical backoff schedules")
+	}
+}
+
+func TestDisabledBreaker(t *testing.T) {
+	inner := &seqOracle{errs: []error{
+		&tempErr{temp: false}, &tempErr{temp: false}, &tempErr{temp: false},
+		&tempErr{temp: false}, &tempErr{temp: false}, &tempErr{temp: false},
+	}}
+	p := policy()
+	p.BreakerThreshold = -1
+	r := New(inner, p)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		r.Generate(ctx, akb.GenerateRequest{})
+	}
+	if r.State() != StateClosed {
+		t.Fatalf("disabled breaker changed state: %v", r.State())
+	}
+	if inner.calls != 6 {
+		t.Fatalf("disabled breaker rejected calls: %d of 6", inner.calls)
+	}
+}
+
+func TestCallTimeoutApplied(t *testing.T) {
+	p := policy()
+	p.CallTimeout = time.Millisecond
+	p.MaxAttempts = 2
+	var sawDeadline bool
+	slow := fallibleFunc(func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			sawDeadline = true
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	r := New(slow, p)
+	_, err := r.Generate(context.Background(), akb.GenerateRequest{})
+	if err == nil {
+		t.Fatal("timing-out oracle should error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline expiry, got %v", err)
+	}
+	if !sawDeadline {
+		t.Fatal("per-attempt deadline not set on the context")
+	}
+}
+
+// fallibleFunc adapts one ctx-consuming function to all three oracle
+// methods, for deadline tests.
+type fallibleFunc func(context.Context) error
+
+func (f fallibleFunc) Generate(ctx context.Context, _ akb.GenerateRequest) ([]*tasks.Knowledge, error) {
+	return nil, f(ctx)
+}
+
+func (f fallibleFunc) Feedback(ctx context.Context, _ akb.FeedbackRequest) (string, error) {
+	return "", f(ctx)
+}
+
+func (f fallibleFunc) Refine(ctx context.Context, _ akb.RefineRequest) ([]*tasks.Knowledge, error) {
+	return nil, f(ctx)
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateClosed: "closed", StateHalfOpen: "half-open", StateOpen: "open",
+	} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q", s, s.String())
+		}
+	}
+}

@@ -6,7 +6,10 @@
 # four workers, and require `knowtrans obs diff -strict` to report zero
 # regressions across all three (the determinism gate), byte-identical
 # rendered tables between the serial and parallel runs, and the trace
-# analyzer's self-time accounting to cover the root span.
+# analyzer's self-time accounting to cover the root span. A chaos gate then
+# re-runs the experiment through the fault-injection chain: at rate 0 the
+# tables must stay byte-identical to the unwrapped run, and at a 30% seeded
+# fault rate the run must complete exit 0 with injection metrics recorded.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -20,7 +23,8 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./internal/obs/... ./internal/akb/... ./internal/eval/...
+go test -race ./internal/obs/... ./internal/akb/... ./internal/eval/... \
+	./internal/faults/... ./internal/resilience/...
 echo "check.sh: tier-1 gates passed"
 
 # --- tier-2: telemetry determinism gate ------------------------------------
@@ -81,4 +85,31 @@ if [ "$ok" != 1 ]; then
 	exit 1
 fi
 echo "check.sh: tier-2 determinism gate passed (coverage serial $coverage%, 4 workers $pcov%)"
+
+# --- tier-2: chaos gate ------------------------------------------------------
+# Rate 0 arms the whole injector → resilient-client chain with zero
+# injections: the rendered tables must stay byte-identical to the unwrapped
+# serial run above.
+"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 -workers 4 \
+	-faults rate=0,seed=9 -bench "$tmp/f0.json" >"$tmp/f0.out"
+sed -e '/^(/d' -e '/^wrote /d' "$tmp/f0.out" >"$tmp/f0.flat"
+cmp -s "$tmp/a.flat" "$tmp/f0.flat" || {
+	echo "check.sh: rate-0 fault chain changed the rendered tables:" >&2
+	diff "$tmp/a.flat" "$tmp/f0.flat" >&2 || true
+	exit 1
+}
+
+# A 30% seeded fault rate must complete every cell (exit 0 — graceful
+# degradation, never a panic) and the injection/resilience metrics must
+# actually appear in the metrics snapshot.
+"$tmp/knowtrans" experiment table6 -scale 0.05 -seed 7 -workers 4 \
+	-faults rate=0.3,seed=9 -metrics "$tmp/chaos.json" >/dev/null || {
+	echo "check.sh: chaos run (30% faults) failed" >&2
+	exit 1
+}
+grep -q '"faults.injected"' "$tmp/chaos.json" || {
+	echo "check.sh: chaos run recorded no faults.injected metric" >&2
+	exit 1
+}
+echo "check.sh: tier-2 chaos gate passed"
 echo "check.sh: all gates passed"
