@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -131,8 +132,8 @@ func BenchmarkFewShotTransfer(b *testing.B) {
 	fewshot := bundle.DS.FewShot(rand.New(rand.NewSource(3)), eval.FewShotN)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		kt := core.NewKnowTrans(upstream, patches, oracle.New(int64(i)))
-		if _, err := kt.Transfer(bundle.Kind, fewshot, int64(i)); err != nil {
+		kt := core.NewKnowTrans(upstream, patches, core.WithPlainOracle(oracle.New(int64(i))))
+		if _, err := kt.Transfer(context.Background(), bundle.Kind, fewshot, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -56,6 +57,8 @@ func main() {
 		runBuild(os.Args[2:])
 	case "transfer":
 		runTransfer(os.Args[2:])
+	case "serve":
+		runServe(os.Args[2:])
 	case "obs":
 		runObs(os.Args[2:])
 	default:
@@ -72,6 +75,10 @@ func usage() {
                        [-bench FILE.json] [-faults rate=R,seed=S[,kinds=a+b]] [obs flags]
   knowtrans build [-artifacts DIR] [-scale S] [-seed K] [obs flags]
   knowtrans transfer -dataset <task/name> [-artifacts DIR] [-scale S] [-seed K] [obs flags]
+  knowtrans serve [-addr HOST:PORT] [-scale S] [-seed K] [-max-adapters N] [-max-batch N]
+                  [-batch-wait D] [-timeout D] [-faults SPEC] [obs flags]
+  knowtrans serve -selftest [-selftest-requests N] [-selftest-concurrency N]
+                  [-selftest-adapters N] [-bench BENCH_serve.json]
   knowtrans obs trace FILE.jsonl [-top N] [-json]
   knowtrans obs diff A.json B.json [-rel-tol F] [-strict] [-json]
 
@@ -214,13 +221,15 @@ func runTransfer(args []string) {
 		}
 		fmt.Printf("loaded upstream model + %d patches from %s\n", len(snaps), *artifacts)
 		upstream.Rec = rec
-		kt := core.NewKnowTrans(upstream, snaps, oracle.New(*seed))
-		kt.Rec = rec
-		ad, err := kt.Transfer(b.Kind, fewshot, *seed)
+		kt := core.NewKnowTrans(upstream, snaps,
+			core.WithPlainOracle(oracle.New(*seed)),
+			core.WithRecorder(rec),
+		)
+		ad, err := kt.Transfer(context.Background(), b.Kind, fewshot, *seed)
 		if err != nil {
 			fatal(err)
 		}
-		pred = ad
+		pred = ad.Detached()
 	} else {
 		kt := z.KnowTransMethod(eval.Size7B, true, true, lora.StrategyAdaptive)
 		pred = kt.Adapt(&baselines.AdaptContext{Bundle: b, FewShot: fewshot, Seed: *seed})

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// runServe starts the inference service: an adapter registry over the
+// zoo's TransferDataset, fronted by the HTTP API of internal/serve. With
+// -selftest it instead binds an ephemeral port, drives a seeded load
+// through the full HTTP path with the configured concurrency, verifies
+// byte-identity against the direct Adapted.Predict path, writes
+// BENCH_serve.json, and exits non-zero on any failed check.
+func runServe(args []string) {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "localhost:8080", "listen address (selftest overrides with an ephemeral port)")
+	scale := fs.Float64("scale", 0.15, "dataset scale relative to paper sizes (0,1]")
+	seed := fs.Int64("seed", 1, "master random seed (adapters are deterministic in it)")
+	maxAdapters := fs.Int("max-adapters", 8, "resident-adapter bound (LRU eviction beyond it)")
+	maxBatch := fs.Int("max-batch", 8, "per-adapter micro-batch cap (1 disables batching)")
+	maxWait := fs.Duration("batch-wait", 2*time.Millisecond, "how long a non-full batch lingers for stragglers")
+	reqTimeout := fs.Duration("timeout", 60*time.Second, "per-request deadline")
+	transferTimeout := fs.Duration("transfer-timeout", 0, "cold-start Transfer bound (0 = unbounded)")
+	faultSpec := fs.String("faults", "",
+		"inject oracle faults during Transfers, `spec` rate=R,seed=S[,kinds=a+b][,latency=D]")
+	selftest := fs.Bool("selftest", false, "run the load-generator gate instead of serving forever")
+	stRequests := fs.Int("selftest-requests", 256, "selftest: total predict requests")
+	stConcurrency := fs.Int("selftest-concurrency", 64, "selftest: concurrent in-flight requests")
+	stAdapters := fs.Int("selftest-adapters", 4, "selftest: distinct adapters to load")
+	benchPath := fs.String("bench", "BENCH_serve.json", "selftest: write the perf record to `file` (empty to disable)")
+	of := addObsFlags(fs)
+	parseOrExit(fs, args)
+
+	rec, finish, err := of.setup()
+	if err != nil {
+		fatal(err)
+	}
+	// The service always carries a metrics registry — the /metrics endpoint,
+	// the registry counters, and the selftest's batch evidence need one even
+	// when no obs flag asked for files.
+	if rec == nil || rec.Metrics == nil {
+		var tracer *obs.Tracer
+		if rec != nil {
+			tracer = rec.Tracer
+		}
+		rec = obs.NewRecorder(obs.NewRegistry(), tracer)
+	}
+
+	z := eval.NewZoo(*seed, *scale)
+	z.Rec = rec
+	if *faultSpec != "" {
+		fcfg, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		z.Faults = &fcfg
+	}
+
+	opts := serve.Options{
+		MaxAdapters:     *maxAdapters,
+		MaxBatch:        *maxBatch,
+		MaxWait:         *maxWait,
+		RequestTimeout:  *reqTimeout,
+		TransferTimeout: *transferTimeout,
+		Rec:             rec,
+	}
+	reg := serve.NewRegistry(zooTransferer(z), opts)
+	srv := serve.NewServer(reg, opts)
+
+	if *selftest {
+		if err := runServeSelftest(z, reg, srv, selftestConfig{
+			requests:    *stRequests,
+			concurrency: *stConcurrency,
+			adapters:    *stAdapters,
+			benchPath:   *benchPath,
+			seed:        *seed,
+			scale:       *scale,
+			faults:      *faultSpec,
+			opts:        opts,
+		}); err != nil {
+			if ferr := finish(); ferr != nil {
+				fmt.Fprintf(os.Stderr, "knowtrans: observability shutdown: %v\n", ferr)
+			}
+			fatal(err)
+		}
+		if err := finish(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("knowtrans serve on http://%s (scale=%.2f seed=%d max-adapters=%d max-batch=%d batch-wait=%s)\n",
+		*addr, *scale, *seed, *maxAdapters, *maxBatch, *maxWait)
+	fmt.Printf("endpoints: POST /v1/predict  POST+GET /v1/adapters  GET /healthz /metrics /metrics.json\n")
+	fmt.Printf("adapter keys: %d downstream datasets (GET /v1/adapters after a warm, or `knowtrans list`)\n",
+		len(z.DownstreamKeys()))
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+// zooTransferer adapts eval.Zoo.TransferDataset to the registry's seam,
+// mapping unknown datasets to the sentinel the HTTP layer turns into 404.
+func zooTransferer(z *eval.Zoo) serve.Transferer {
+	return func(ctx context.Context, key string) (serve.Adapter, error) {
+		ad, err := z.TransferDataset(ctx, key, eval.Size7B)
+		if err != nil {
+			if errors.Is(err, eval.ErrUnknownDataset) {
+				return nil, fmt.Errorf("%w: %v", serve.ErrUnknownKey, err)
+			}
+			return nil, err
+		}
+		return ad, nil
+	}
+}
+
+type selftestConfig struct {
+	requests    int
+	concurrency int
+	adapters    int
+	benchPath   string
+	seed        int64
+	scale       float64
+	faults      string
+	opts        serve.Options
+}
+
+// BenchServe is the BENCH_serve.json document: the load configuration, the
+// latency/throughput report, and the registry's per-key evidence that cold
+// starts coalesced.
+type BenchServe struct {
+	SchemaVersion int               `json:"schema_version"`
+	GeneratedAt   string            `json:"generated_at"`
+	Seed          int64             `json:"seed"`
+	Scale         float64           `json:"scale"`
+	Faults        string            `json:"faults,omitempty"`
+	Keys          []string          `json:"keys"`
+	MaxBatch      int               `json:"max_batch"`
+	MaxAdapters   int               `json:"max_adapters"`
+	BatchWaitS    float64           `json:"batch_wait_s"`
+	Report        *serve.LoadReport `json:"report"`
+	Adapters      []serve.KeyStats  `json:"adapters"`
+}
+
+// runServeSelftest is the acceptance gate behind `knowtrans serve -selftest`:
+// it proves the service sustains the configured concurrency across several
+// adapters with coalesced cold starts and answers byte-identical to the
+// direct path.
+func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg selftestConfig) error {
+	keys := z.DownstreamKeys()
+	if cfg.adapters < 1 || cfg.adapters > len(keys) {
+		return fmt.Errorf("serve: -selftest-adapters must be in [1,%d]", len(keys))
+	}
+	keys = keys[:cfg.adapters]
+
+	// Reference answers come from a second, independent zoo at the same
+	// (seed, scale, faults): the direct Adapted.Predict path the served
+	// answers must match byte-for-byte.
+	fmt.Printf("selftest: building %d reference adapters (direct path)...\n", len(keys))
+	ref := eval.NewZoo(z.Seed, z.Scale)
+	ref.Faults = z.Faults
+	items := make([]serve.LoadItem, 0, cfg.requests)
+	perKey := (cfg.requests + len(keys) - 1) / len(keys)
+	for _, key := range keys {
+		ad, err := ref.TransferDataset(context.Background(), key, eval.Size7B)
+		if err != nil {
+			return fmt.Errorf("selftest: reference transfer %s: %w", key, err)
+		}
+		b, _ := ref.FindDownstream(key)
+		for i := 0; i < perKey && len(items) < cfg.requests; i++ {
+			in := b.DS.Test[i%len(b.DS.Test)]
+			items = append(items, serve.LoadItem{
+				Key:  key,
+				In:   serve.WireFrom(in),
+				Want: ad.Predict(context.Background(), in),
+			})
+		}
+	}
+	// Interleave the keys so cold starts race each other and hot batches
+	// interleave across adapters — the shape heavy multi-tenant traffic has.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck
+	defer hs.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("selftest: %d requests, %d concurrent, %d adapters via %s\n",
+		len(items), cfg.concurrency, len(keys), baseURL)
+
+	rep, err := serve.RunLoad(context.Background(), baseURL, items, serve.LoadOptions{
+		Concurrency: cfg.concurrency,
+	})
+	if err != nil {
+		return fmt.Errorf("selftest: load run: %w", err)
+	}
+	snap := reg.Snapshot()
+
+	fmt.Printf("selftest: %d requests in %.2fs — %.0f req/s, p50 %.1fms p95 %.1fms p99 %.1fms\n",
+		rep.Requests, rep.WallS, rep.RPS, rep.P50us/1e3, rep.P95us/1e3, rep.P99us/1e3)
+	fmt.Printf("selftest: %d non-2xx, %d mismatches, %d cold hits\n", rep.Non2xx, rep.Mismatches, rep.ColdHits)
+	for _, st := range snap {
+		fmt.Printf("selftest: adapter %-24s transfers=%d requests=%d hits=%d misses=%d\n",
+			st.Key, st.Transfers, st.Requests, st.Hits, st.Misses)
+	}
+
+	if cfg.benchPath != "" {
+		doc := &BenchServe{
+			SchemaVersion: 1,
+			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+			Seed:          cfg.seed,
+			Scale:         cfg.scale,
+			Faults:        cfg.faults,
+			Keys:          keys,
+			MaxBatch:      cfg.opts.MaxBatch,
+			MaxAdapters:   cfg.opts.MaxAdapters,
+			BatchWaitS:    cfg.opts.MaxWait.Seconds(),
+			Report:        rep,
+			Adapters:      snap,
+		}
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.benchPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.benchPath)
+	}
+
+	// Verdicts. Mismatches are fatal at any fault rate (the chain is seeded
+	// and deterministic, so even chaos runs must match their equally-chaotic
+	// reference); availability is only gated when no faults are armed.
+	if rep.Mismatches > 0 {
+		return fmt.Errorf("selftest: %d served answers diverged from the direct path (first: %s)",
+			rep.Mismatches, rep.FirstError)
+	}
+	if cfg.faults == "" && rep.Non2xx > 0 {
+		return fmt.Errorf("selftest: %d non-2xx responses with no faults armed (first: %s)",
+			rep.Non2xx, rep.FirstError)
+	}
+	for _, st := range snap {
+		if st.Transfers != 1 {
+			return fmt.Errorf("selftest: adapter %s ran %d Transfers; cold starts must coalesce to exactly 1",
+				st.Key, st.Transfers)
+		}
+	}
+	fmt.Println("selftest: PASS")
+	return nil
+}
+
+// Compile-time statement that the production Adapted model satisfies the
+// serving seam.
+var _ serve.Adapter = (*core.Adapted)(nil)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -57,8 +58,8 @@ func main() {
 	wa := datagen.ByKey("EM/Walmart-Amazon", seed, 0.1)
 	fewshot := wa.DS.FewShot(rand.New(rand.NewSource(seed)), 20)
 
-	kt := core.NewKnowTrans(upstream, patches, oracle.New(seed))
-	ad, err := kt.Transfer(tasks.EM, fewshot, seed)
+	kt := core.NewKnowTrans(upstream, patches, core.WithPlainOracle(oracle.New(seed)))
+	ad, err := kt.Transfer(context.Background(), tasks.EM, fewshot, seed)
 	if err != nil {
 		panic(err)
 	}
@@ -101,7 +102,7 @@ func main() {
 	// A peek at one prediction with its knowledge-augmented prompt.
 	in := wa.DS.Test[0]
 	ex := tasks.BuildExample(spec, in, ad.Knowledge)
-	fmt.Printf("\nexample prompt:\n%s\n-> prediction: %s (gold: %s)\n", ex.Prompt, ad.Predict(in), in.GoldText())
+	fmt.Printf("\nexample prompt:\n%s\n-> prediction: %s (gold: %s)\n", ex.Prompt, ad.Predict(context.Background(), in), in.GoldText())
 }
 
 func toExamples(corpus []datagen.LabeledExample) []model.TrainExample {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -34,8 +35,8 @@ func main() {
 	fewshot := beer.DS.FewShot(rand.New(rand.NewSource(seed)), 20)
 
 	upstream := z.Upstream(eval.Size7B)
-	kt := core.NewKnowTrans(upstream, z.Patches(eval.Size7B), oracle.New(seed))
-	ad, err := kt.Transfer(tasks.ED, fewshot, seed)
+	kt := core.NewKnowTrans(upstream, z.Patches(eval.Size7B), core.WithPlainOracle(oracle.New(seed)))
+	ad, err := kt.Transfer(context.Background(), tasks.ED, fewshot, seed)
 	if err != nil {
 		panic(err)
 	}

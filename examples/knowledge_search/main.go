@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -27,9 +28,8 @@ func main() {
 	fewshot := b.DS.FewShot(rand.New(rand.NewSource(seed)), 20)
 
 	// A fine-tuned model WITHOUT knowledge: the 𝓜' the search queries.
-	kt := core.NewKnowTrans(z.Upstream(eval.Size7B), z.Patches(eval.Size7B), nil)
-	kt.UseAKB = false
-	ad, err := kt.Transfer(tasks.ED, fewshot, seed)
+	kt := core.NewKnowTrans(z.Upstream(eval.Size7B), z.Patches(eval.Size7B), core.WithAKB(false))
+	ad, err := kt.Transfer(context.Background(), tasks.ED, fewshot, seed)
 	if err != nil {
 		panic(err)
 	}

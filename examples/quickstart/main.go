@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -56,8 +57,8 @@ func main() {
 	baseScore := baseline.Evaluate(tasks.SpecFor(b.Kind), b.DS.Test, nil)
 
 	// KnowTrans: SKC + AKB.
-	kt := core.NewKnowTrans(upstream, patches, oracle.New(seed))
-	ad, err := kt.Transfer(b.Kind, fewshot, seed)
+	kt := core.NewKnowTrans(upstream, patches, core.WithPlainOracle(oracle.New(seed)))
+	ad, err := kt.Transfer(context.Background(), b.Kind, fewshot, seed)
 	if err != nil {
 		panic(err)
 	}

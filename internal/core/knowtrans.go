@@ -5,25 +5,26 @@
 //
 // Typical use:
 //
-//	kt := &core.KnowTrans{
-//		Upstream: upstreamModel,          // e.g. the Jellyfish-7B analogue
-//		Patches:  patchLibrary,           // extracted once from upstream data
-//		Oracle:   oracle.New(seed),       // the simulated GPT-4o
-//	}
-//	ad, err := kt.Transfer(tasks.EM, fewshot, seed)
+//	kt := core.NewKnowTrans(upstreamModel, patchLibrary,
+//		core.WithPlainOracle(oracle.New(seed)), // the simulated GPT-4o
+//	)
+//	ad, err := kt.Transfer(ctx, tasks.EM, fewshot, seed)
 //	...
-//	answer := ad.Predict(instance)
+//	answer := ad.Predict(ctx, instance)
 package core
 
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/akb"
 	"repro/internal/data"
+	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/skc"
 	"repro/internal/tasks"
 )
@@ -33,13 +34,14 @@ import (
 type KnowTrans struct {
 	Upstream *model.Model
 	Patches  []*skc.NamedSnapshot
-	Oracle   akb.Oracle
 
-	// Fallible, when non-nil, takes precedence over Oracle: AKB runs
-	// through the error-aware search path (akb.SearchFallible) and degrades
-	// gracefully when calls fail. This is how a remote-API oracle — or the
-	// chaos chain of internal/faults + internal/resilience — plugs in.
-	Fallible akb.FallibleOracle
+	// Oracle is the single oracle seam of the framework: the error-aware
+	// face (akb.FallibleOracle) that a production client backed by a remote
+	// API implements directly. It replaces the old Oracle/Fallible field
+	// pair — an infallible in-process oracle plugs in through the thin
+	// WithPlainOracle adapter instead. When set, it takes precedence over
+	// any plain oracle and any armed fault spec (the caller owns the chain).
+	Oracle akb.FallibleOracle
 
 	SKC skc.Options
 	AKB akb.Config
@@ -56,17 +58,77 @@ type KnowTrans struct {
 	// observability down into the SKC and AKB stages (overriding any
 	// Rec already set on kt.SKC / kt.AKB so the spans nest correctly).
 	Rec *obs.Recorder
+
+	// plain and chaosSpec back the WithPlainOracle/WithFaults options:
+	// Transfer builds the per-seed oracle chain (OracleChain) from them when
+	// no FallibleOracle was set directly.
+	plain     akb.Oracle
+	chaosSpec *faults.Config
 }
 
-// NewKnowTrans returns a fully enabled framework with paper defaults.
-func NewKnowTrans(upstream *model.Model, patches []*skc.NamedSnapshot, o akb.Oracle) *KnowTrans {
-	return &KnowTrans{
+// NewKnowTrans returns a fully enabled framework with paper defaults,
+// customized by functional options — the one construction path serve, the
+// experiment harness, and the CLI all share:
+//
+//	kt := core.NewKnowTrans(upstream, patches,
+//		core.WithPlainOracle(oracle.New(seed)),
+//		core.WithRecorder(rec),
+//		core.WithFaults(chaosSpec), // nil disarms
+//	)
+func NewKnowTrans(upstream *model.Model, patches []*skc.NamedSnapshot, opts ...Option) *KnowTrans {
+	kt := &KnowTrans{
 		Upstream: upstream,
 		Patches:  patches,
-		Oracle:   o,
 		UseSKC:   true,
 		UseAKB:   true,
 	}
+	for _, o := range opts {
+		if o != nil {
+			o(kt)
+		}
+	}
+	return kt
+}
+
+// OracleChain wraps a plain in-process oracle for the error-aware search
+// path. With a nil fault spec it is the thin infallible adapter —
+// byte-for-byte the production path. With one, the chain is
+//
+//	plain oracle → faults.Injector → resilience.ResilientOracle
+//
+// with the injector's schedule and the client's backoff jitter seeded from
+// (spec.Seed, cellSeed) — content-addressed like every other seed in the
+// repo, so chaos runs reproduce exactly regardless of concurrency. Backoff
+// waits are elided and per-attempt deadlines disabled: the simulated oracle
+// cannot hang, so injected timeouts arrive as instantaneous errors and
+// sleeping between retries would only slow callers without changing any
+// decision the chain makes.
+func OracleChain(g akb.Oracle, spec *faults.Config, cellSeed int64, rec *obs.Recorder) akb.FallibleOracle {
+	if spec == nil {
+		return akb.AsFallible(g)
+	}
+	fcfg := *spec
+	fcfg.Seed = faults.DeriveSeed(spec.Seed, cellSeed)
+	fcfg.Rec = rec
+	return resilience.New(faults.Wrap(g, fcfg), resilience.Policy{
+		Seed:        faults.DeriveSeed(spec.Seed+1, cellSeed),
+		Sleep:       func(time.Duration) {},
+		CallTimeout: -1,
+		Rec:         rec,
+	})
+}
+
+// resolveOracle picks the oracle Transfer searches through: an explicitly
+// set FallibleOracle wins; otherwise the plain oracle is lifted through
+// OracleChain (which also arms the chaos chain when WithFaults set a spec).
+func (kt *KnowTrans) resolveOracle(seed int64, rec *obs.Recorder) (akb.FallibleOracle, error) {
+	if kt.Oracle != nil {
+		return kt.Oracle, nil
+	}
+	if kt.plain == nil {
+		return nil, fmt.Errorf("core: AKB enabled but no oracle configured")
+	}
+	return OracleChain(kt.plain, kt.chaosSpec, seed, rec), nil
 }
 
 // Adapted is a model transferred to one downstream dataset: the fine-tuned
@@ -81,10 +143,32 @@ type Adapted struct {
 }
 
 // Predict answers one instance with the searched knowledge in the prompt.
-// It satisfies the experiment harness's Predictor interface.
-func (a *Adapted) Predict(in *data.Instance) string {
+// A canceled or expired context short-circuits to the empty string — the
+// serving layer uses this to shed work for disconnected clients; batch
+// callers pass context.Background() and always get a real answer.
+//
+// Predict is not safe for concurrent use on one Adapted (the underlying
+// model reuses scratch buffers); the serve batcher serializes per-adapter
+// calls for exactly this reason.
+func (a *Adapted) Predict(ctx context.Context, in *data.Instance) string {
+	if ctx != nil && ctx.Err() != nil {
+		return ""
+	}
 	return a.Model.PredictWith(tasks.SpecFor(a.Kind), in, a.Knowledge)
 }
+
+// Detached is Adapted without the context parameter: the shape the
+// experiment harness's Predictor seam expects. Every call runs under
+// context.Background().
+type Detached struct{ *Adapted }
+
+// Predict satisfies the harness's context-free Predictor interface.
+func (d Detached) Predict(in *data.Instance) string {
+	return d.Adapted.Predict(context.Background(), in)
+}
+
+// Detached returns a context-free predictor view of the adapted model.
+func (a *Adapted) Detached() Detached { return Detached{a} }
 
 // SearchedKnowledge returns the knowledge AKB selected (nil when AKB was
 // disabled or concluded that no knowledge helps).
@@ -98,10 +182,19 @@ func (a *Adapted) Evaluate(test []*data.Instance) float64 {
 // Transfer adapts the upstream DP-LLM to a novel dataset/task from the
 // few-shot sample, per Fig. 2: SKC first (training time), then AKB
 // (inference time) searching knowledge with the fine-tuned model in the
-// loop.
-func (kt *KnowTrans) Transfer(kind tasks.Kind, fewshot []*data.Instance, seed int64) (*Adapted, error) {
+// loop. The context bounds the whole adaptation: cancellation is checked
+// between stages and threaded into the AKB search (whose oracle calls
+// honor per-call deadlines), so a serving layer can abandon a transfer
+// whose requester went away.
+func (kt *KnowTrans) Transfer(ctx context.Context, kind tasks.Kind, fewshot []*data.Instance, seed int64) (*Adapted, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(fewshot) == 0 {
 		return nil, fmt.Errorf("core: transfer needs few-shot data")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: transfer: %w", err)
 	}
 	rec, span := kt.Rec.StartSpan("core.transfer")
 	defer span.End()
@@ -144,13 +237,13 @@ func (kt *KnowTrans) Transfer(kind tasks.Kind, fewshot []*data.Instance, seed in
 		ftSpan.End()
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: transfer: %w", err)
+	}
 	if kt.UseAKB {
-		fo := kt.Fallible
-		if fo == nil {
-			if kt.Oracle == nil {
-				return nil, fmt.Errorf("core: AKB enabled but no oracle configured")
-			}
-			fo = akb.AsFallible(kt.Oracle)
+		fo, err := kt.resolveOracle(seed, rec)
+		if err != nil {
+			return nil, err
 		}
 		// SearchFallible normalizes the config (unset fields get the paper
 		// defaults, caller-set fields survive).
@@ -159,7 +252,7 @@ func (kt *KnowTrans) Transfer(kind tasks.Kind, fewshot []*data.Instance, seed in
 		if rec != nil {
 			cfg.Rec = rec
 		}
-		res := akb.SearchFallible(context.Background(), ad.Model, fo, kind, fewshot, nil, cfg)
+		res := akb.SearchFallible(ctx, ad.Model, fo, kind, fewshot, nil, cfg)
 		ad.Knowledge, ad.AKBResult = res.Best, res
 	}
 	return ad, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -50,14 +51,14 @@ func testUpstream() (*model.Model, []*skc.NamedSnapshot) {
 func TestTransferFullPipeline(t *testing.T) {
 	upstream, snaps := testUpstream()
 	rng := rand.New(rand.NewSource(5))
-	kt := NewKnowTrans(upstream, snaps, fixedOracle{k: &tasks.Knowledge{
+	kt := NewKnowTrans(upstream, snaps, WithPlainOracle(fixedOracle{k: &tasks.Knowledge{
 		Rules: []tasks.Rule{{
 			Cond:   tasks.Condition{Pred: tasks.PredFormat, Arg: tasks.FormatPercent},
 			Answer: tasks.Answer{Literal: tasks.AnswerYes},
 			Weight: 1,
 		}},
-	}})
-	ad, err := kt.Transfer(tasks.ED, percentED(rng, 20), 6)
+	}}))
+	ad, err := kt.Transfer(context.Background(), tasks.ED, percentED(rng, 20), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestTransferFullPipeline(t *testing.T) {
 	}
 	// Predict must be consistent with Evaluate.
 	for _, in := range test[:5] {
-		got := ad.Predict(in)
+		got := ad.Predict(context.Background(), in)
 		if got != tasks.AnswerYes && got != tasks.AnswerNo {
 			t.Fatalf("illegal prediction %q", got)
 		}
@@ -88,9 +89,8 @@ func TestTransferAblations(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	fewshot := percentED(rng, 20)
 
-	kt := NewKnowTrans(upstream, snaps, fixedOracle{k: &tasks.Knowledge{}})
-	kt.UseSKC = false
-	ad, err := kt.Transfer(tasks.ED, fewshot, 8)
+	kt := NewKnowTrans(upstream, snaps, WithPlainOracle(fixedOracle{k: &tasks.Knowledge{}}), WithSKC(false))
+	ad, err := kt.Transfer(context.Background(), tasks.ED, fewshot, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,9 +101,8 @@ func TestTransferAblations(t *testing.T) {
 		t.Fatal("w/o SKC still runs AKB")
 	}
 
-	kt2 := NewKnowTrans(upstream, snaps, nil)
-	kt2.UseAKB = false
-	ad2, err := kt2.Transfer(tasks.ED, fewshot, 9)
+	kt2 := NewKnowTrans(upstream, snaps, WithAKB(false))
+	ad2, err := kt2.Transfer(context.Background(), tasks.ED, fewshot, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,13 +116,13 @@ func TestTransferAblations(t *testing.T) {
 
 func TestTransferErrors(t *testing.T) {
 	upstream, snaps := testUpstream()
-	kt := NewKnowTrans(upstream, snaps, nil)
-	if _, err := kt.Transfer(tasks.ED, nil, 1); err == nil {
+	kt := NewKnowTrans(upstream, snaps)
+	if _, err := kt.Transfer(context.Background(), tasks.ED, nil, 1); err == nil {
 		t.Fatal("empty few-shot must error")
 	}
 	rng := rand.New(rand.NewSource(10))
 	kt.UseAKB = true // oracle nil
-	if _, err := kt.Transfer(tasks.ED, percentED(rng, 5), 1); err == nil {
+	if _, err := kt.Transfer(context.Background(), tasks.ED, percentED(rng, 5), 1); err == nil {
 		t.Fatal("AKB without oracle must error")
 	}
 }
@@ -132,8 +131,8 @@ func TestTransferLeavesUpstreamUntouched(t *testing.T) {
 	upstream, snaps := testUpstream()
 	before := upstream.Export()
 	rng := rand.New(rand.NewSource(11))
-	kt := NewKnowTrans(upstream, snaps, fixedOracle{k: &tasks.Knowledge{}})
-	if _, err := kt.Transfer(tasks.ED, percentED(rng, 20), 12); err != nil {
+	kt := NewKnowTrans(upstream, snaps, WithPlainOracle(fixedOracle{k: &tasks.Knowledge{}}))
+	if _, err := kt.Transfer(context.Background(), tasks.ED, percentED(rng, 20), 12); err != nil {
 		t.Fatal(err)
 	}
 	after := upstream.Export()

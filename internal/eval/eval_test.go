@@ -91,8 +91,8 @@ func TestTableWithAverages(t *testing.T) {
 	if got := avg.Average("A"); got != 30 {
 		t.Fatalf("Average() = %v", got)
 	}
-	if v, ok := avg.Cell("d2", "A"); !ok || v != 30 {
-		t.Fatalf("Cell lookup = %v/%v", v, ok)
+	if v, ok := avg.CellAt("ED", "d2", "A"); !ok || v != 30 {
+		t.Fatalf("CellAt lookup = %v/%v", v, ok)
 	}
 }
 

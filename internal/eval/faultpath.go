@@ -2,40 +2,21 @@ package eval
 
 import (
 	"context"
-	"time"
 
 	"repro/internal/akb"
+	"repro/internal/core"
 	"repro/internal/data"
-	"repro/internal/faults"
 	"repro/internal/obs"
-	"repro/internal/resilience"
 	"repro/internal/tasks"
 )
 
 // fallibleOracle builds the oracle chain one experiment cell drives its AKB
-// search through. Without an armed fault spec it is the plain infallible
-// adapter — byte-for-byte the pre-chaos path. With one, the chain is
-//
-//	simulated GPT → faults.Injector → resilience.ResilientOracle
-//
-// with the injector's schedule and the client's backoff jitter seeded per
-// cell (content-addressed, like every other seed in the harness), so chaos
-// runs reproduce exactly at any -workers count. Backoff waits are elided:
-// the injected faults are instantaneous, so sleeping between retries would
-// only slow the grid without changing any decision the chain makes.
+// search through — core.OracleChain over the zoo's armed fault spec (nil
+// spec: the plain infallible adapter, byte-for-byte the pre-chaos path).
+// The chain's seeds are content-addressed per cell, so chaos runs reproduce
+// exactly at any -workers count.
 func (z *Zoo) fallibleOracle(g akb.Oracle, cellSeed int64, rec *obs.Recorder) akb.FallibleOracle {
-	if z.Faults == nil {
-		return akb.AsFallible(g)
-	}
-	fcfg := *z.Faults
-	fcfg.Seed = faults.DeriveSeed(z.Faults.Seed, cellSeed)
-	fcfg.Rec = rec
-	return resilience.New(faults.Wrap(g, fcfg), resilience.Policy{
-		Seed:        faults.DeriveSeed(z.Faults.Seed+1, cellSeed),
-		Sleep:       func(time.Duration) {},
-		CallTimeout: -1, // the simulated oracle cannot hang; timeouts arrive as injected errors
-		Rec:         rec,
-	})
+	return core.OracleChain(g, z.Faults, cellSeed, rec)
 }
 
 // searchAKB runs akb.SearchFallible through the zoo's oracle chain. Direct

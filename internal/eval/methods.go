@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"repro/internal/akb"
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -104,20 +106,19 @@ func (k *ktMethod) Adapt(ctx *baselines.AdaptContext) baselines.Predictor {
 	if rec == nil {
 		rec = k.z.Rec
 	}
-	kt := &core.KnowTrans{
-		Upstream: backbone,
-		Patches:  k.z.Patches(k.size),
-		Fallible: k.z.fallibleOracle(oracle.New(ctx.Seed+771), ctx.Seed, rec),
-		UseSKC:   k.useSKC,
-		UseAKB:   k.useAKB,
-		SKC:      skc.Options{Strategy: k.strategy},
-		Rec:      rec,
-	}
-	ad, err := kt.Transfer(ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
+	kt := core.NewKnowTrans(backbone, k.z.Patches(k.size),
+		core.WithPlainOracle(oracle.New(ctx.Seed+771)),
+		core.WithFaults(k.z.Faults),
+		core.WithSKC(k.useSKC),
+		core.WithAKB(k.useAKB),
+		core.WithSKCOptions(skc.Options{Strategy: k.strategy}),
+		core.WithRecorder(rec),
+	)
+	ad, err := kt.Transfer(context.Background(), ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
 	if err != nil {
 		panic(err)
 	}
-	return ad
+	return ad.Detached()
 }
 
 // AdaptKnowTrans exposes the full Adapted artifact (fusion weights, searched
@@ -128,15 +129,14 @@ func (z *Zoo) AdaptKnowTrans(ctx *baselines.AdaptContext, size Size, useSKC, use
 	if rec == nil {
 		rec = z.Rec
 	}
-	kt := &core.KnowTrans{
-		Upstream: backbone,
-		Patches:  z.Patches(size),
-		Fallible: z.fallibleOracle(oracle.New(ctx.Seed+771), ctx.Seed, rec),
-		UseSKC:   useSKC,
-		UseAKB:   useAKB,
-		SKC:      skc.Options{Strategy: strategy},
-		AKB:      akbCfg,
-		Rec:      rec,
-	}
-	return kt.Transfer(ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
+	kt := core.NewKnowTrans(backbone, z.Patches(size),
+		core.WithPlainOracle(oracle.New(ctx.Seed+771)),
+		core.WithFaults(z.Faults),
+		core.WithSKC(useSKC),
+		core.WithAKB(useAKB),
+		core.WithSKCOptions(skc.Options{Strategy: strategy}),
+		core.WithAKBConfig(akbCfg),
+		core.WithRecorder(rec),
+	)
+	return kt.Transfer(context.Background(), ctx.Bundle.Kind, ctx.FewShot, ctx.Seed)
 }

@@ -144,22 +144,6 @@ func (t *Table) CellAt(task, dataset, column string) (float64, bool) {
 	return 0, false
 }
 
-// Cell returns the first non-average cell whose row matches dataset alone
-// (0 and false when absent).
-//
-// Deprecated: dataset names are not unique across tasks, so this can read
-// the wrong task's row; use CellAt.
-func (t *Table) Cell(dataset, column string) (float64, bool) {
-	for _, r := range t.Rows {
-		if r.IsAverage || r.Dataset != dataset {
-			continue
-		}
-		v, ok := r.Cells[column]
-		return v, ok
-	}
-	return 0, false
-}
-
 // Average returns the mean of a column across non-average rows.
 func (t *Table) Average(column string) float64 {
 	var sum float64

@@ -27,13 +27,8 @@ func TestCellAtDisambiguatesTasks(t *testing.T) {
 	if _, ok := avg.CellAt("ED", "Average", "A"); ok {
 		t.Fatal("CellAt must not match synthesized average rows")
 	}
-	// The deprecated shim still resolves by dataset alone (first row wins)
-	// but must skip average rows too.
-	if v, ok := avg.Cell("Rayyan", "A"); !ok || v != 10 {
-		t.Fatalf("Cell(Rayyan) = %v/%v, want first non-average row 10", v, ok)
-	}
-	if _, ok := avg.Cell("Average (all)", "A"); ok {
-		t.Fatal("Cell must not match the overall average row")
+	if _, ok := avg.CellAt("", "Average (all)", "A"); ok {
+		t.Fatal("CellAt must not match the overall average row")
 	}
 }
 

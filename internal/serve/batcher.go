@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+)
+
+// predictReq is one queued prediction: the instance, the requester's
+// context (checked again at serve time so abandoned work is shed), and a
+// one-slot reply channel.
+type predictReq struct {
+	ctx  context.Context
+	in   *data.Instance
+	resp chan predictResp
+	enq  time.Time
+}
+
+type predictResp struct {
+	ans string
+	err error
+}
+
+// sizeBounds are the histogram bounds for the small-count distributions of
+// the service (queue depth, batch size): roughly 1-1.5-2 steps out to 256,
+// where the latency bounds' decade steps would collapse everything into two
+// buckets.
+var sizeBounds = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256}
+
+// batcher is the per-adapter micro-batching predict loop. Requests enqueue
+// under a mutex; a single goroutine drains the queue into batches of at
+// most maxBatch, lingering up to maxWait for stragglers once it holds at
+// least one request, then answers the whole batch against the model.
+// Batching serves two purposes: hot adapters amortize per-call overhead
+// across a batch, and — since the underlying model reuses scratch buffers
+// and is not safe for concurrent Predict — the loop is also the per-adapter
+// serialization point, so the registry can accept unbounded request
+// concurrency without data races.
+//
+// The enqueue path checks the stopped flag under the same mutex that stop
+// sets it, so after stop returns no new request can slip into the queue:
+// everything queued is failed with errBatcherStopped (the registry's retry
+// signal) and later arrivals are refused at the door.
+type batcher struct {
+	key      string
+	ad       Adapter
+	maxBatch int
+	maxWait  time.Duration
+	rec      *obs.Recorder
+
+	mu      sync.Mutex
+	queue   []*predictReq
+	stopped bool
+
+	// wake (capacity 1) nudges the loop after an enqueue; coalesced wakes
+	// are fine because the loop re-reads the queue under the mutex. stopc
+	// unblocks the loop's waits on stop; done closes when the loop exits.
+	wake  chan struct{}
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+func newBatcher(key string, ad Adapter, maxBatch int, maxWait time.Duration, rec *obs.Recorder) *batcher {
+	b := &batcher{
+		key:      key,
+		ad:       ad,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		rec:      rec,
+		wake:     make(chan struct{}, 1),
+		stopc:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// predict enqueues one instance and waits for its batch to be served. A
+// stopped batcher (the adapter was evicted) returns errBatcherStopped,
+// which Registry.Predict treats as "re-resolve and retry".
+func (b *batcher) predict(ctx context.Context, in *data.Instance) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &predictReq{ctx: ctx, in: in, resp: make(chan predictResp, 1), enq: time.Now()}
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return "", errBatcherStopped
+	}
+	b.queue = append(b.queue, r)
+	depth := len(b.queue)
+	b.mu.Unlock()
+	b.rec.Observe("serve.queue_depth", float64(depth), sizeBounds)
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	// The loop owns the request from here: even if this requester gives up,
+	// the batch will answer into the buffered resp channel and move on.
+	select {
+	case resp := <-r.resp:
+		return resp.ans, resp.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// stop refuses new requests, fails everything still queued, and waits for
+// the loop to exit. Queued requesters get errBatcherStopped and transparently
+// re-resolve through the registry (rebuilding the adapter if needed).
+func (b *batcher) stop() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.stopped = true
+	b.mu.Unlock()
+	close(b.stopc)
+	<-b.done
+}
+
+// run is the drain loop: wait for work, linger for stragglers, serve the
+// batch, repeat until stopped.
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		b.mu.Lock()
+		if b.stopped {
+			q := b.queue
+			b.queue = nil
+			b.mu.Unlock()
+			for _, r := range q {
+				r.resp <- predictResp{err: errBatcherStopped}
+			}
+			return
+		}
+		if len(b.queue) == 0 {
+			b.mu.Unlock()
+			select {
+			case <-b.wake:
+			case <-b.stopc:
+			}
+			continue
+		}
+		pending := len(b.queue)
+		b.mu.Unlock()
+
+		// Linger: a non-full batch waits up to maxWait for stragglers so
+		// bursts coalesce. Singleton traffic pays at most maxWait extra
+		// latency; a full batch (or maxBatch 1) goes immediately.
+		if pending < b.maxBatch && b.maxBatch > 1 {
+			b.linger()
+		}
+
+		b.mu.Lock()
+		n := len(b.queue)
+		if n > b.maxBatch {
+			n = b.maxBatch
+		}
+		batch := make([]*predictReq, n)
+		copy(batch, b.queue[:n])
+		rest := b.queue[n:]
+		b.queue = append(b.queue[:0:0], rest...)
+		b.mu.Unlock()
+		b.serve(batch)
+	}
+}
+
+// linger blocks until the batch fills, maxWait elapses, or stop. Wake
+// signals re-check the queue length under the mutex, so coalesced wakes and
+// spurious ones are harmless.
+func (b *batcher) linger() {
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-b.wake:
+			b.mu.Lock()
+			full := len(b.queue) >= b.maxBatch || b.stopped
+			b.mu.Unlock()
+			if full {
+				return
+			}
+		case <-timer.C:
+			return
+		case <-b.stopc:
+			return
+		}
+	}
+}
+
+// serve answers one batch. Per-adapter calls are serialized by construction
+// (one loop per batcher); requests whose context already expired are shed
+// without touching the model.
+func (b *batcher) serve(batch []*predictReq) {
+	_, span := b.rec.StartSpan("serve.batch")
+	span.SetAttr("key", b.key)
+	span.SetAttr("size", len(batch))
+	start := time.Now()
+	b.rec.Observe("serve.batch_size", float64(len(batch)), sizeBounds)
+	for _, r := range batch {
+		b.rec.Observe("serve.queue_us", float64(time.Since(r.enq).Microseconds()), nil)
+		if err := r.ctx.Err(); err != nil {
+			r.resp <- predictResp{err: err}
+			b.rec.Count("serve.shed", 1)
+			continue
+		}
+		r.resp <- predictResp{ans: b.ad.Predict(r.ctx, r.in)}
+	}
+	b.rec.Count("serve.batches", 1)
+	b.rec.Observe("serve.batch_us", float64(time.Since(start).Microseconds()), nil)
+	span.End()
+}

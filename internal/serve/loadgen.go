@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadItem is one request of a load run: the adapter key, the instance,
+// and (optionally) the answer the direct Adapted.Predict path produced at
+// the same seed — when non-empty, the generator asserts byte-identity.
+type LoadItem struct {
+	Key  string
+	In   WireInstance
+	Want string
+}
+
+// LoadOptions configures RunLoad.
+type LoadOptions struct {
+	// Concurrency is the number of in-flight requests the generator keeps
+	// open (the ISSUE's acceptance floor is 64). Default 64.
+	Concurrency int
+	// Timeout bounds one HTTP request. Default 120s (a cold adapter pays
+	// for a full Transfer on its first predict).
+	Timeout time.Duration
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 64
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	return o
+}
+
+// LoadReport summarizes one load run. Latencies are per-request
+// microseconds over the full HTTP round trip.
+type LoadReport struct {
+	Requests    int     `json:"requests"`
+	Non2xx      int     `json:"non_2xx"`
+	Mismatches  int     `json:"mismatches"`
+	ColdHits    int     `json:"cold_hits"`
+	Concurrency int     `json:"concurrency"`
+	WallS       float64 `json:"wall_s"`
+	RPS         float64 `json:"throughput_rps"`
+	P50us       float64 `json:"p50_us"`
+	P95us       float64 `json:"p95_us"`
+	P99us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+
+	// FirstError keeps the first failure verbatim for diagnostics.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// RunLoad drives items against a running server at baseURL with a fixed
+// pool of workers, so up to Concurrency predicts are in flight at once. It
+// never aborts on a failed request — failures are counted (Non2xx,
+// Mismatches) and the first one is kept verbatim — so a chaos-mode run
+// reports degradation instead of dying on it.
+func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOptions) (*LoadReport, error) {
+	opts = opts.withDefaults()
+	if len(items) == 0 {
+		return nil, fmt.Errorf("serve: load run needs items")
+	}
+	client := &http.Client{Timeout: opts.Timeout}
+	workers := opts.Concurrency
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	var (
+		next       atomic.Int64
+		non2xx     atomic.Int64
+		mismatches atomic.Int64
+		cold       atomic.Int64
+
+		mu       sync.Mutex
+		latUs    = make([]float64, len(items))
+		firstErr string
+	)
+	fail := func(msg string) {
+		mu.Lock()
+		if firstErr == "" {
+			firstErr = msg
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || ctx.Err() != nil {
+					return
+				}
+				it := items[i]
+				body, _ := json.Marshal(PredictRequest{Adapter: it.Key, Instance: it.In})
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/predict", bytes.NewReader(body))
+				if err != nil {
+					non2xx.Add(1)
+					fail(fmt.Sprintf("build request %d: %v", i, err))
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				latUs[i] = float64(time.Since(t0).Microseconds())
+				if err != nil {
+					non2xx.Add(1)
+					fail(fmt.Sprintf("request %d (%s): %v", i, it.Key, err))
+					continue
+				}
+				payload, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode/100 != 2 {
+					non2xx.Add(1)
+					fail(fmt.Sprintf("request %d (%s): HTTP %d: %s", i, it.Key, resp.StatusCode, bytes.TrimSpace(payload)))
+					continue
+				}
+				var pr PredictResponse
+				if err := json.Unmarshal(payload, &pr); err != nil {
+					non2xx.Add(1)
+					fail(fmt.Sprintf("request %d (%s): bad response body: %v", i, it.Key, err))
+					continue
+				}
+				if pr.Cold {
+					cold.Add(1)
+				}
+				if it.Want != "" && pr.Answer != it.Want {
+					mismatches.Add(1)
+					fail(fmt.Sprintf("request %d (%s): served %q, direct path produced %q", i, it.Key, pr.Answer, it.Want))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sorted := append([]float64(nil), latUs...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return &LoadReport{
+		Requests:    len(items),
+		Non2xx:      int(non2xx.Load()),
+		Mismatches:  int(mismatches.Load()),
+		ColdHits:    int(cold.Load()),
+		Concurrency: workers,
+		WallS:       wall.Seconds(),
+		RPS:         float64(len(items)) / wall.Seconds(),
+		P50us:       q(0.50),
+		P95us:       q(0.95),
+		P99us:       q(0.99),
+		MaxUs:       sorted[len(sorted)-1],
+		FirstError:  firstErr,
+	}, nil
+}

@@ -1,0 +1,354 @@
+// Package serve is the inference service of the reproduction: an HTTP JSON
+// API fronting a bounded registry of adapted models. KnowTrans's premise is
+// cheap per-dataset adaptation, which in production means many adapted
+// variants alive at once behind one endpoint — the multi-adapter serving
+// shape of S-LoRA/Punica. The package provides three layers:
+//
+//   - Registry: a bounded LRU of core.Adapted models keyed by task/dataset,
+//     with coalesced cold starts (exactly one Transfer per cold key, however
+//     many requests race for it) and panic-safe build slots.
+//   - batcher: one micro-batching predict loop per resident adapter, which
+//     drains queued requests into batches before touching the model — both
+//     an amortization and the serialization the model's scratch buffers
+//     require.
+//   - Server: the HTTP surface (POST /v1/predict, POST+GET /v1/adapters,
+//     /healthz, /metrics) with per-request deadlines.
+//
+// Everything is instrumented through internal/obs: serve.request /
+// serve.transfer / serve.batch spans, queue-depth and batch-size
+// histograms, and registry hit/miss/eviction counters.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+)
+
+// Adapter is what the registry holds per key: the narrow predict face of a
+// core.Adapted model (which satisfies it directly). Implementations are not
+// required to be safe for concurrent Predict calls — the batcher serializes
+// per-adapter access.
+type Adapter interface {
+	Predict(ctx context.Context, in *data.Instance) string
+}
+
+// Transferer builds the adapted model for one registry key ("EM/Walmart-
+// Amazon"). The registry guarantees at most one concurrent call per key.
+// Implementations signal an unknown key by returning an error wrapping
+// ErrUnknownKey, which the HTTP layer maps to 404.
+type Transferer func(ctx context.Context, key string) (Adapter, error)
+
+// ErrUnknownKey marks a key no adapter can be built for.
+var ErrUnknownKey = errors.New("serve: unknown adapter key")
+
+// errBatcherStopped is the internal retry signal for the eviction race: the
+// entry a request resolved was evicted before the request reached its
+// queue. The registry re-resolves (rebuilding the adapter if needed).
+var errBatcherStopped = errors.New("serve: batcher stopped")
+
+// Options configures a Registry/Server. The zero value is usable; unset
+// fields take the defaults documented per field.
+type Options struct {
+	// MaxAdapters bounds the number of resident adapters (LRU eviction
+	// beyond it). Default 8.
+	MaxAdapters int
+	// MaxBatch is the per-adapter micro-batch cap. Default 8; 1 disables
+	// batching (every request is its own batch).
+	MaxBatch int
+	// MaxWait is how long a non-full batch lingers for stragglers once it
+	// holds at least one request. Default 2ms.
+	MaxWait time.Duration
+	// RequestTimeout is the per-request deadline the server applies on top
+	// of the client's context. Default 60s; negative disables.
+	RequestTimeout time.Duration
+	// TransferTimeout bounds one cold-start Transfer. Builds run detached
+	// from the triggering request's context (coalesced waiters must not be
+	// at the mercy of the first requester's deadline), so this is their
+	// only bound. Default 0: unbounded.
+	TransferTimeout time.Duration
+	// Rec threads observability through the service. Nil disables it at
+	// zero cost.
+	Rec *obs.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAdapters <= 0 {
+		o.MaxAdapters = 8
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// KeyStats are the per-key registry counters, kept across eviction so
+// "exactly one Transfer per adapter" stays provable after churn.
+type KeyStats struct {
+	Key       string `json:"key"`
+	Resident  bool   `json:"resident"`
+	Loading   bool   `json:"loading"`
+	Transfers int64  `json:"transfers"`
+	Requests  int64  `json:"requests"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Errors    int64  `json:"errors"`
+}
+
+// Registry is the bounded adapter cache: at most MaxAdapters core.Adapted
+// models resident at once, least-recently-used evicted first. Concurrent
+// requests for a cold key coalesce onto one in-flight Transfer — the same
+// publish-and-wake discipline as eval's Zoo.memo, with a closed channel as
+// the broadcast so waiters stay responsive to their own context. A build
+// slot is released under defer even when the Transfer panics, so a crashed
+// build fails its waiters instead of wedging every later request for the
+// key.
+type Registry struct {
+	transfer Transferer
+	opts     Options
+	rec      *obs.Recorder
+
+	mu       sync.Mutex
+	ready    map[string]*entry
+	inflight map[string]*flight
+	stats    map[string]*KeyStats
+	clock    uint64 // LRU tick; monotone under mu
+}
+
+type entry struct {
+	key     string
+	ad      Adapter
+	bat     *batcher
+	lastUse uint64
+}
+
+// flight is one in-progress Transfer; done is closed exactly once after ad/
+// err are set and the result (on success) is installed.
+type flight struct {
+	done chan struct{}
+	ad   Adapter
+	err  error
+}
+
+// NewRegistry builds a registry over a transferer.
+func NewRegistry(t Transferer, opts Options) *Registry {
+	opts = opts.withDefaults()
+	return &Registry{
+		transfer: t,
+		opts:     opts,
+		rec:      opts.Rec,
+		ready:    map[string]*entry{},
+		inflight: map[string]*flight{},
+		stats:    map[string]*KeyStats{},
+	}
+}
+
+// statLocked returns the per-key counters, creating them on first use.
+// Callers hold r.mu.
+func (r *Registry) statLocked(key string) *KeyStats {
+	s, ok := r.stats[key]
+	if !ok {
+		s = &KeyStats{Key: key}
+		r.stats[key] = s
+	}
+	return s
+}
+
+// Predict answers one instance with the adapter for key, transferring it
+// first when cold (cold reports that this request found the adapter
+// non-resident). The request rides the adapter's micro-batch loop; if the
+// adapter is evicted between resolution and enqueue, the request
+// transparently re-resolves.
+func (r *Registry) Predict(ctx context.Context, key string, in *data.Instance) (ans string, cold bool, err error) {
+	for {
+		e, c, err := r.get(ctx, key)
+		cold = cold || c
+		if err != nil {
+			return "", cold, err
+		}
+		ans, err := e.bat.predict(ctx, in)
+		if errors.Is(err, errBatcherStopped) {
+			continue
+		}
+		return ans, cold, err
+	}
+}
+
+// Warm ensures the adapter for key is resident, reporting whether this call
+// had to wait for a Transfer (its own or a coalesced one).
+func (r *Registry) Warm(ctx context.Context, key string) (cold bool, err error) {
+	_, cold, err = r.get(ctx, key)
+	return cold, err
+}
+
+// get resolves the resident entry for key, building it when cold. cold
+// reports whether this call found the key non-resident (a miss, whether it
+// ran the Transfer itself or coalesced onto another request's flight).
+func (r *Registry) get(ctx context.Context, key string) (e *entry, cold bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	first := true
+	// classifyLocked accounts the first resolution outcome of this call;
+	// retries around eviction races are not re-counted. Callers hold r.mu;
+	// the obs counter is atomic, so bumping it under the lock is fine.
+	classifyLocked := func(hit bool) {
+		if !first {
+			return
+		}
+		first = false
+		st := r.statLocked(key)
+		st.Requests++
+		if hit {
+			st.Hits++
+			r.rec.Count("serve.registry_hit", 1)
+		} else {
+			st.Misses++
+			r.rec.Count("serve.registry_miss", 1)
+			cold = true
+		}
+	}
+	for {
+		r.mu.Lock()
+		if e, ok := r.ready[key]; ok {
+			r.clock++
+			e.lastUse = r.clock
+			classifyLocked(true)
+			r.mu.Unlock()
+			return e, cold, nil
+		}
+		if f, ok := r.inflight[key]; ok {
+			classifyLocked(false)
+			r.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, cold, ctx.Err()
+			}
+			if f.err != nil {
+				return nil, cold, f.err
+			}
+			// Installed (or already evicted again): re-resolve.
+			continue
+		}
+		// Miss with no flight: this goroutine owns the build; everyone else
+		// arriving before it finishes coalesces onto the flight above.
+		f := &flight{done: make(chan struct{})}
+		r.inflight[key] = f
+		classifyLocked(false)
+		r.mu.Unlock()
+		r.build(key, f)
+		if f.err != nil {
+			return nil, cold, f.err
+		}
+	}
+}
+
+// build runs the Transfer for one flight and publishes the result. It runs
+// on the triggering requester's goroutine but under a context detached from
+// that request, bounded only by TransferTimeout: coalesced waiters must not
+// inherit the first requester's deadline. The slot is released and waiters
+// woken under defer, so a panicking Transfer fails its waiters (they see
+// the panic as an error) instead of wedging the key.
+func (r *Registry) build(key string, f *flight) {
+	bctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if r.opts.TransferTimeout > 0 {
+		bctx, cancel = context.WithTimeout(bctx, r.opts.TransferTimeout)
+	}
+	_, span := r.rec.StartSpan("serve.transfer")
+	span.SetAttr("key", key)
+	start := time.Now()
+	defer func() {
+		cancel()
+		if p := recover(); p != nil {
+			f.err = fmt.Errorf("serve: transfer %q panicked: %v", key, p)
+		}
+		span.SetAttr("error", f.err != nil)
+		span.End()
+		r.mu.Lock()
+		delete(r.inflight, key)
+		st := r.statLocked(key)
+		if f.err == nil {
+			st.Transfers++
+			r.installLocked(key, f.ad)
+		} else {
+			st.Errors++
+		}
+		r.mu.Unlock()
+		if f.err == nil {
+			r.rec.Count("serve.transfers", 1)
+			r.rec.Observe("serve.transfer_us", float64(time.Since(start).Microseconds()), nil)
+		} else {
+			r.rec.Count("serve.transfer_errors", 1)
+		}
+		close(f.done)
+	}()
+	ad, err := r.transfer(bctx, key)
+	if err == nil && ad == nil {
+		err = fmt.Errorf("serve: transferer returned no adapter for %q", key)
+	}
+	f.ad, f.err = ad, err
+}
+
+// installLocked makes an adapter resident and evicts past the LRU bound.
+// Callers hold r.mu. Evicted batchers are stopped off the lock — they may
+// need to drain queued requests first, and those requests re-resolve.
+func (r *Registry) installLocked(key string, ad Adapter) {
+	r.clock++
+	e := &entry{
+		key:     key,
+		ad:      ad,
+		lastUse: r.clock,
+		bat:     newBatcher(key, ad, r.opts.MaxBatch, r.opts.MaxWait, r.rec),
+	}
+	r.ready[key] = e
+	for len(r.ready) > r.opts.MaxAdapters {
+		var victim *entry
+		for _, cand := range r.ready {
+			if victim == nil || cand.lastUse < victim.lastUse {
+				victim = cand
+			}
+		}
+		delete(r.ready, victim.key)
+		r.statLocked(victim.key) // ensure the row survives for snapshots
+		r.rec.Count("serve.registry_eviction", 1)
+		go victim.bat.stop()
+	}
+	r.rec.SetGauge("serve.adapters", float64(len(r.ready)))
+}
+
+// Snapshot reports every key the registry has seen, resident or not,
+// sorted by key for stable output.
+func (r *Registry) Snapshot() []KeyStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]KeyStats, 0, len(r.stats))
+	for key, st := range r.stats {
+		row := *st
+		_, row.Resident = r.ready[key]
+		_, row.Loading = r.inflight[key]
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Resident returns the number of resident adapters.
+func (r *Registry) Resident() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ready)
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+)
+
+// stubAdapter is a deterministic in-test adapter that also detects
+// concurrent Predict calls — the batcher must serialize per-adapter access.
+type stubAdapter struct {
+	key    string
+	delay  time.Duration
+	inCall atomic.Int32
+	raced  atomic.Bool
+}
+
+func (a *stubAdapter) Predict(_ context.Context, in *data.Instance) string {
+	if a.inCall.Add(1) != 1 {
+		a.raced.Store(true)
+	}
+	if a.delay > 0 {
+		time.Sleep(a.delay)
+	}
+	a.inCall.Add(-1)
+	return a.key + ":" + in.ID
+}
+
+// stubTransferer counts builds per key and can be told to stall, fail, or
+// panic.
+type stubTransferer struct {
+	delay time.Duration
+
+	mu       sync.Mutex
+	builds   map[string]int
+	adapters map[string]*stubAdapter
+	panics   map[string]bool
+	errs     map[string]error
+}
+
+func newStubTransferer(delay time.Duration) *stubTransferer {
+	return &stubTransferer{
+		delay:    delay,
+		builds:   map[string]int{},
+		adapters: map[string]*stubAdapter{},
+		panics:   map[string]bool{},
+		errs:     map[string]error{},
+	}
+}
+
+func (t *stubTransferer) transfer(_ context.Context, key string) (Adapter, error) {
+	t.mu.Lock()
+	t.builds[key]++
+	shouldPanic := t.panics[key]
+	err := t.errs[key]
+	t.mu.Unlock()
+	if t.delay > 0 {
+		time.Sleep(t.delay)
+	}
+	if shouldPanic {
+		panic("transfer exploded")
+	}
+	if err != nil {
+		return nil, err
+	}
+	ad := &stubAdapter{key: key}
+	t.mu.Lock()
+	t.adapters[key] = ad
+	t.mu.Unlock()
+	return ad, nil
+}
+
+func (t *stubTransferer) buildCount(key string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.builds[key]
+}
+
+func (t *stubTransferer) anyRace() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range t.adapters {
+		if a.raced.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+func inst(id string) *data.Instance {
+	return &data.Instance{ID: id, Candidates: []string{"yes", "no"}}
+}
+
+// TestColdStartCoalesces is the ISSUE's contention gate: N goroutines
+// racing for one cold adapter must trigger exactly one Transfer, and every
+// request must be answered by it.
+func TestColdStartCoalesces(t *testing.T) {
+	tr := newStubTransferer(20 * time.Millisecond)
+	r := NewRegistry(tr.transfer, Options{})
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	answers := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ans, _, err := r.Predict(context.Background(), "EM/A", inst(fmt.Sprint(i)))
+			answers[i], errs[i] = ans, err
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if want := "EM/A:" + fmt.Sprint(i); answers[i] != want {
+			t.Fatalf("request %d answered %q, want %q", i, answers[i], want)
+		}
+	}
+	if got := tr.buildCount("EM/A"); got != 1 {
+		t.Fatalf("%d transfers for one cold key, want exactly 1", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Transfers != 1 {
+		t.Fatalf("snapshot = %+v, want one key with Transfers=1", snap)
+	}
+	if snap[0].Hits+snap[0].Misses != n {
+		t.Fatalf("hits+misses = %d, want %d", snap[0].Hits+snap[0].Misses, n)
+	}
+}
+
+// TestLRUEviction: the bound holds, the least-recently-used key goes first,
+// and per-key counters survive eviction.
+func TestLRUEviction(t *testing.T) {
+	tr := newStubTransferer(0)
+	r := NewRegistry(tr.transfer, Options{MaxAdapters: 2})
+	ctx := context.Background()
+	for _, key := range []string{"A", "B"} {
+		if _, _, err := r.Predict(ctx, key, inst("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch A so B is the LRU victim when C arrives.
+	if _, _, err := r.Predict(ctx, "A", inst("2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Predict(ctx, "C", inst("1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Resident(); got != 2 {
+		t.Fatalf("resident = %d, want 2", got)
+	}
+	resident := map[string]bool{}
+	for _, st := range r.Snapshot() {
+		resident[st.Key] = st.Resident
+	}
+	if !resident["A"] || !resident["C"] || resident["B"] {
+		t.Fatalf("resident set = %v, want A and C", resident)
+	}
+	// A re-request of the evicted key rebuilds it and keeps its history.
+	if _, _, err := r.Predict(ctx, "B", inst("3")); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.buildCount("B"); got != 2 {
+		t.Fatalf("B built %d times, want 2 (initial + post-eviction)", got)
+	}
+	for _, st := range r.Snapshot() {
+		if st.Key == "B" && st.Transfers != 2 {
+			t.Fatalf("B stats lost across eviction: %+v", st)
+		}
+	}
+}
+
+// TestPanickingTransferFailsWaiters: a Transfer that panics must fail every
+// coalesced waiter with an error — and must not wedge the key for later
+// requests.
+func TestPanickingTransferFailsWaiters(t *testing.T) {
+	tr := newStubTransferer(10 * time.Millisecond)
+	tr.panics["X"] = true
+	r := NewRegistry(tr.transfer, Options{})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = r.Predict(context.Background(), "X", inst("1"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("request %d succeeded through a panicking transfer", i)
+		}
+		if !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("request %d error = %v, want panic report", i, err)
+		}
+	}
+	// The key recovers once the transferer does.
+	tr.mu.Lock()
+	tr.panics["X"] = false
+	tr.mu.Unlock()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := r.Predict(context.Background(), "X", inst("2"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("post-panic predict: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("registry wedged after a panicking transfer")
+	}
+}
+
+// TestTransferErrorPropagates: unknown keys surface their sentinel to every
+// coalesced waiter and are not cached as resident.
+func TestTransferErrorPropagates(t *testing.T) {
+	tr := newStubTransferer(0)
+	tr.errs["nope"] = fmt.Errorf("%w: %q", ErrUnknownKey, "nope")
+	r := NewRegistry(tr.transfer, Options{})
+	_, _, err := r.Predict(context.Background(), "nope", inst("1"))
+	if !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("err = %v, want ErrUnknownKey", err)
+	}
+	if r.Resident() != 0 {
+		t.Fatal("failed transfer left a resident adapter")
+	}
+	for _, st := range r.Snapshot() {
+		if st.Key == "nope" && st.Errors == 0 {
+			t.Fatalf("error not counted: %+v", st)
+		}
+	}
+}
+
+// TestCanceledRequestDoesNotCancelTransfer: a waiter whose context dies
+// leaves with its context error while the build (owned by another request)
+// completes for everyone else.
+func TestCanceledRequestDoesNotCancelTransfer(t *testing.T) {
+	tr := newStubTransferer(50 * time.Millisecond)
+	r := NewRegistry(tr.transfer, Options{})
+	// Owner starts the build.
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := r.Predict(context.Background(), "K", inst("1"))
+		ownerDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the owner claim the flight
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.Predict(ctx, "K", inst("2")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v, want context.Canceled", err)
+	}
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner failed: %v", err)
+	}
+	if got := tr.buildCount("K"); got != 1 {
+		t.Fatalf("build count = %d, want 1", got)
+	}
+}
+
+// TestEvictionChurnNeverWedges: ping-ponging more keys than the bound under
+// heavy concurrency exercises the eviction/retry race (a request resolving
+// an entry that is evicted before it reaches the queue must transparently
+// re-resolve). Every request must still be answered, by the right adapter.
+func TestEvictionChurnNeverWedges(t *testing.T) {
+	tr := newStubTransferer(time.Millisecond)
+	r := NewRegistry(tr.transfer, Options{MaxAdapters: 1, MaxBatch: 4, MaxWait: 100 * time.Microsecond})
+	keys := []string{"A", "B", "C"}
+	const n = 90
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := keys[i%len(keys)]
+			ans, _, err := r.Predict(context.Background(), key, inst(fmt.Sprint(i)))
+			if err != nil {
+				errCh <- fmt.Errorf("request %d: %w", i, err)
+				return
+			}
+			if want := key + ":" + fmt.Sprint(i); ans != want {
+				errCh <- fmt.Errorf("request %d answered %q, want %q", i, ans, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if r.Resident() != 1 {
+		t.Fatalf("resident = %d, want the bound 1", r.Resident())
+	}
+	if tr.anyRace() {
+		t.Fatal("concurrent Predict calls reached one adapter; the batcher must serialize")
+	}
+}

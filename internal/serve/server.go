@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+)
+
+// Server is the HTTP face of the service: a mux over the registry plus the
+// live telemetry endpoints. Build one with NewServer and mount it anywhere
+// an http.Handler goes (net/http, httptest, ...).
+//
+//	POST /v1/predict   {"adapter": "EM/Walmart-Amazon", "instance": {...}}
+//	POST /v1/adapters  {"key": "EM/Walmart-Amazon"}   (warm: trigger a Transfer)
+//	GET  /v1/adapters  registry snapshot (per-key transfers/hits/misses)
+//	GET  /healthz      liveness + resident-adapter count
+//	GET  /metrics      Prometheus text exposition (when a metrics registry is wired)
+//	GET  /metrics.json the same snapshot as JSON
+type Server struct {
+	reg   *Registry
+	opts  Options
+	rec   *obs.Recorder
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wraps a registry in the HTTP API. opts should be the same
+// options the registry was built with (the server applies RequestTimeout
+// and reports the batching knobs on /healthz).
+func NewServer(reg *Registry, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		reg:   reg,
+		opts:  opts,
+		rec:   opts.Rec,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/adapters", s.handleAdapters)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if opts.Rec != nil && opts.Rec.Metrics != nil {
+		reg := opts.Rec.Metrics
+		s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			if err := obs.WritePrometheus(w, reg.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		s.mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry returns the adapter registry the server fronts.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// WireField / WireInstance are the JSON shape of a data.Instance on the
+// predict endpoint. Gold is deliberately absent: the service answers
+// questions, it does not score them.
+type WireField struct {
+	Entity string `json:"entity,omitempty"`
+	Name   string `json:"name"`
+	Value  string `json:"value"`
+}
+
+type WireInstance struct {
+	ID         string            `json:"id,omitempty"`
+	Fields     []WireField       `json:"fields"`
+	Target     string            `json:"target,omitempty"`
+	Candidates []string          `json:"candidates,omitempty"`
+	Meta       map[string]string `json:"meta,omitempty"`
+}
+
+// WireFrom converts a data.Instance to its JSON wire shape. The gold label
+// is not carried: callers that know it (the selftest) keep it on their side
+// of the wire.
+func WireFrom(in *data.Instance) WireInstance {
+	wi := WireInstance{
+		ID:         in.ID,
+		Target:     in.Target,
+		Candidates: in.Candidates,
+		Meta:       in.Meta,
+	}
+	for _, f := range in.Fields {
+		wi.Fields = append(wi.Fields, WireField{Entity: f.Entity, Name: f.Name, Value: f.Value})
+	}
+	return wi
+}
+
+func (wi *WireInstance) instance() *data.Instance {
+	in := &data.Instance{
+		ID:         wi.ID,
+		Target:     wi.Target,
+		Candidates: wi.Candidates,
+		Meta:       wi.Meta,
+		Gold:       -1, // unknown; the service never sees labels
+	}
+	for _, f := range wi.Fields {
+		in.Fields = append(in.Fields, data.Field{Entity: f.Entity, Name: f.Name, Value: f.Value})
+	}
+	return in
+}
+
+// PredictRequest is the body of POST /v1/predict.
+type PredictRequest struct {
+	Adapter  string       `json:"adapter"`
+	Instance WireInstance `json:"instance"`
+}
+
+// PredictResponse is the body of a successful predict call. Cold reports
+// that this request found the adapter non-resident and waited on a
+// Transfer (its own or a coalesced one).
+type PredictResponse struct {
+	Adapter string `json:"adapter"`
+	Answer  string `json:"answer"`
+	Cold    bool   `json:"cold"`
+}
+
+// WarmRequest is the body of POST /v1/adapters.
+type WarmRequest struct {
+	Key string `json:"key"`
+}
+
+// WarmResponse reports the outcome of a warm call.
+type WarmResponse struct {
+	Key  string `json:"key"`
+	Cold bool   `json:"cold"`
+}
+
+// AdaptersResponse is the body of GET /v1/adapters.
+type AdaptersResponse struct {
+	Resident int        `json:"resident"`
+	Adapters []KeyStats `json:"adapters"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	OK       bool    `json:"ok"`
+	UptimeS  float64 `json:"uptime_s"`
+	Resident int     `json:"resident"`
+	MaxBatch int     `json:"max_batch"`
+	MaxWaitS float64 `json:"max_wait_s"`
+	MaxAdapt int     `json:"max_adapters"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// requestCtx applies the server's per-request deadline on top of the
+// client's context.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// statusFor maps a registry/transfer error to an HTTP status: unknown keys
+// are the client's fault (404), deadlines are 504, a client that went away
+// is 499 (nginx's convention; net/http has no name for it), everything else
+// is a 502 from the adaptation backend.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownKey):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+// writeJSON renders one response; status is also recorded on the request
+// span and in the serve.requests/serve.errors counters by instrument.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// instrument wraps one handler in the serve.request span and the request
+// counters/latency histogram.
+func (s *Server) instrument(route string, w http.ResponseWriter, r *http.Request, h func(w *statusWriter, r *http.Request)) {
+	_, span := s.rec.StartSpan("serve.request")
+	span.SetAttr("route", route)
+	span.SetAttr("method", r.Method)
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	h(sw, r)
+	span.SetAttr("status", sw.status)
+	span.End()
+	s.rec.Count("serve.requests", 1)
+	s.rec.Count(fmt.Sprintf("serve.requests/%s", route), 1)
+	if sw.status >= 400 {
+		s.rec.Count("serve.request_errors", 1)
+	}
+	s.rec.Observe("serve.request_us", float64(time.Since(start).Microseconds()), nil)
+}
+
+// statusWriter remembers the response code for the span and error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.instrument("predict", w, r, func(w *statusWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+			return
+		}
+		var req PredictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+		if req.Adapter == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing adapter key"})
+			return
+		}
+		if len(req.Instance.Candidates) == 0 {
+			// Prediction ranks candidate answers (DESIGN.md: open-domain tasks
+			// are realized as ranking), so an empty set is unanswerable.
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "instance needs candidate answers"})
+			return
+		}
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		ans, cold, err := s.reg.Predict(ctx, req.Adapter, req.Instance.instance())
+		if err != nil {
+			writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{Adapter: req.Adapter, Answer: ans, Cold: cold})
+	})
+}
+
+func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.instrument("adapters", w, r, func(w *statusWriter, _ *http.Request) {
+			snap := s.reg.Snapshot()
+			writeJSON(w, http.StatusOK, AdaptersResponse{Resident: s.reg.Resident(), Adapters: snap})
+		})
+	case http.MethodPost:
+		s.instrument("warm", w, r, func(w *statusWriter, r *http.Request) {
+			var req WarmRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+				return
+			}
+			if req.Key == "" {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing adapter key"})
+				return
+			}
+			ctx, cancel := s.requestCtx(r)
+			defer cancel()
+			cold, err := s.reg.Warm(ctx, req.Key)
+			if err != nil {
+				writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, WarmResponse{Key: req.Key, Cold: cold})
+		})
+	default:
+		writeJSON(&statusWriter{ResponseWriter: w}, http.StatusMethodNotAllowed, errorResponse{Error: "GET or POST only"})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.instrument("healthz", w, r, func(w *statusWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, HealthResponse{
+			OK:       true,
+			UptimeS:  time.Since(s.start).Seconds(),
+			Resident: s.reg.Resident(),
+			MaxBatch: s.opts.MaxBatch,
+			MaxWaitS: s.opts.MaxWait.Seconds(),
+			MaxAdapt: s.opts.MaxAdapters,
+		})
+	})
+}

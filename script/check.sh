@@ -10,6 +10,11 @@
 # re-runs the experiment through the fault-injection chain: at rate 0 the
 # tables must stay byte-identical to the unwrapped run, and at a 30% seeded
 # fault rate the run must complete exit 0 with injection metrics recorded.
+# Finally a serve gate runs `knowtrans serve -selftest`: a 64-concurrent
+# seeded load over 4 adapters through the real HTTP path must return zero
+# non-2xx, answer byte-identically to the direct Adapted.Predict path,
+# coalesce every adapter's cold start to exactly one Transfer, and record
+# the run in BENCH_serve.json.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -24,7 +29,7 @@ fi
 go vet ./...
 go build ./...
 go test -race ./internal/obs/... ./internal/akb/... ./internal/eval/... \
-	./internal/faults/... ./internal/resilience/...
+	./internal/faults/... ./internal/resilience/... ./internal/serve/...
 echo "check.sh: tier-1 gates passed"
 
 # --- tier-2: telemetry determinism gate ------------------------------------
@@ -112,4 +117,27 @@ grep -q '"faults.injected"' "$tmp/chaos.json" || {
 	exit 1
 }
 echo "check.sh: tier-2 chaos gate passed"
+
+# --- tier-2: serve gate ------------------------------------------------------
+# The selftest drives a seeded load through the full HTTP path and exits
+# non-zero itself on any answer mismatch vs the direct path, any non-2xx
+# at fault rate 0, or any adapter whose cold starts did not coalesce to
+# exactly one Transfer. We additionally require the perf record to exist
+# and to have actually measured the load.
+"$tmp/knowtrans" serve -selftest -scale 0.05 -seed 7 \
+	-selftest-requests 256 -selftest-concurrency 64 -selftest-adapters 4 \
+	-bench "$tmp/serve.json" >"$tmp/serve.out" || {
+	echo "check.sh: serve selftest failed:" >&2
+	cat "$tmp/serve.out" >&2
+	exit 1
+}
+[ -s "$tmp/serve.json" ] || {
+	echo "check.sh: serve selftest wrote no BENCH_serve.json" >&2
+	exit 1
+}
+grep -q '"requests": 256' "$tmp/serve.json" || {
+	echo "check.sh: BENCH_serve.json did not record the 256-request load" >&2
+	exit 1
+}
+echo "check.sh: tier-2 serve gate passed"
 echo "check.sh: all gates passed"
