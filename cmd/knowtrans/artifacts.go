@@ -31,6 +31,7 @@ func runBuild(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	rec.SeedTraceIDs(*seed)
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fatal(err)
 	}

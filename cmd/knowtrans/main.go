@@ -76,10 +76,12 @@ func usage() {
   knowtrans build [-artifacts DIR] [-scale S] [-seed K] [obs flags]
   knowtrans transfer -dataset <task/name> [-artifacts DIR] [-scale S] [-seed K] [obs flags]
   knowtrans serve [-addr HOST:PORT] [-scale S] [-seed K] [-max-adapters N] [-max-batch N]
-                  [-batch-wait D] [-timeout D] [-faults SPEC] [obs flags]
+                  [-batch-wait D] [-timeout D] [-faults SPEC] [-access-log FILE|-]
+                  [-slow D] [obs flags]
   knowtrans serve -selftest [-selftest-requests N] [-selftest-concurrency N]
                   [-selftest-adapters N] [-bench BENCH_serve.json]
-  knowtrans obs trace FILE.jsonl [-top N] [-json]
+  knowtrans obs trace FILE.jsonl [-top N] [-json] [-trace-id ID] [-follow]
+  knowtrans obs top [-url URL] [-interval D] [-n N] [-once]
   knowtrans obs diff A.json B.json [-rel-tol F] [-strict] [-json]
 
 observability flags (any subcommand):
@@ -129,6 +131,7 @@ func runExperiment(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	rec.SeedTraceIDs(*seed)
 	z := eval.NewZoo(*seed, *scale)
 	z.Rec = rec
 	z.Workers = *workers
@@ -195,6 +198,7 @@ func runTransfer(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	rec.SeedTraceIDs(*seed)
 	z := eval.NewZoo(*seed, *scale)
 	z.Rec = rec
 	b, ok := z.FindDownstream(*dataset)

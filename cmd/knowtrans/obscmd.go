@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/obs/analyze"
 )
@@ -24,6 +26,8 @@ func runObs(args []string) {
 		runObsTrace(args[1:])
 	case "diff":
 		runObsDiff(args[1:])
+	case "top":
+		runObsTop(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "knowtrans: unknown obs subcommand %q\n", args[0])
 		obsUsage()
@@ -33,9 +37,15 @@ func runObs(args []string) {
 
 func obsUsage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  knowtrans obs trace FILE.jsonl [-top N] [-json]
+  knowtrans obs trace FILE.jsonl [-top N] [-json] [-trace-id ID] [-follow] [-interval D]
       analyze a span trace: per-stage aggregates (count, total/self time,
-      p50/p95), the critical path, the slowest spans, and event counts
+      p50/p95), the critical path, the slowest spans, and event counts.
+      -trace-id reassembles one request's end-to-end path (its spans,
+      events, and the shared batch/transfer work linked into it); -follow
+      tails the file, re-rendering as new records land
+  knowtrans obs top [-url URL] [-interval D] [-n N] [-once]
+      live operator view of a running server: polls /metrics.json for
+      in-flight requests, per-key queue depths, and rolling p50/p95
   knowtrans obs diff A.json B.json [-rel-tol F] [-wall-tol F] [-strict] [-verbose] [-json]
       compare two BENCH_run.json documents metric-by-metric; exits 1 when
       any metric regressed beyond the relative tolerance`)
@@ -45,6 +55,9 @@ func runObsTrace(args []string) {
 	fs := newFlagSet("obs trace")
 	top := fs.Int("top", 10, "slowest-spans entries to report")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	traceID := fs.String("trace-id", "", "reassemble one request's end-to-end path by trace `id`")
+	follow := fs.Bool("follow", false, "tail the file: re-render as new records land")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval in -follow mode")
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
 		fmt.Fprintln(os.Stderr, "knowtrans: obs trace needs a trace file")
 		obsUsage()
@@ -52,18 +65,72 @@ func runObsTrace(args []string) {
 	}
 	path := args[0]
 	parseOrExit(fs, args[1:])
-	tr, err := analyze.LoadFile(path)
-	if err != nil {
-		fatal(err)
+
+	load := func() *analyze.Trace {
+		tr, err := analyze.LoadFile(path)
+		if err != nil {
+			// A missing or unreadable trace file is an operator mistake, not a
+			// crash: explain, show usage, exit 2 like any other bad invocation.
+			fmt.Fprintf(os.Stderr, "knowtrans: %v\n", err)
+			obsUsage()
+			runObsCleanup()
+			os.Exit(2)
+		}
+		return tr
 	}
-	rep := analyze.NewReport(tr, *top)
-	if *asJSON {
-		err = rep.WriteJSON(os.Stdout)
-	} else {
-		err = rep.WriteText(os.Stdout)
+
+	render := func(tr *analyze.Trace) error {
+		if *traceID != "" {
+			p := tr.FilterTrace(*traceID)
+			if *asJSON {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(p)
+			}
+			return p.WriteText(os.Stdout)
+		}
+		rep := analyze.NewReport(tr, *top)
+		if *asJSON {
+			return rep.WriteJSON(os.Stdout)
+		}
+		return rep.WriteText(os.Stdout)
 	}
-	if err != nil {
-		fatal(err)
+
+	if !*follow {
+		tr := load()
+		if err := render(tr); err != nil {
+			fatal(err)
+		}
+		if *traceID != "" && tr.FilterTrace(*traceID).Empty() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Follow mode: poll the file, re-rendering whenever it grows. LoadFile
+	// tolerates a truncated tail, so reading mid-write is safe. With a
+	// -trace-id the loop exits once the filtered path is non-empty and has
+	// stopped growing (the request completed); without one it tails forever.
+	lastCount := -1
+	stableFor := 0
+	for {
+		tr := load()
+		n := len(tr.Records)
+		if n != lastCount {
+			lastCount = n
+			stableFor = 0
+			if *traceID == "" || !tr.FilterTrace(*traceID).Empty() {
+				if err := render(tr); err != nil {
+					fatal(err)
+				}
+			}
+		} else {
+			stableFor++
+		}
+		if *traceID != "" && stableFor >= 2 && !tr.FilterTrace(*traceID).Empty() {
+			return
+		}
+		time.Sleep(*interval)
 	}
 }
 

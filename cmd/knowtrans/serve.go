@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -36,6 +37,9 @@ func runServe(args []string) {
 	transferTimeout := fs.Duration("transfer-timeout", 0, "cold-start Transfer bound (0 = unbounded)")
 	faultSpec := fs.String("faults", "",
 		"inject oracle faults during Transfers, `spec` rate=R,seed=S[,kinds=a+b][,latency=D]")
+	accessLog := fs.String("access-log", "-",
+		"write one JSON access-log line per request to `file` (\"-\" = stderr, empty disables)")
+	slowReq := fs.Duration("slow", time.Second, "access-log latency threshold for slow=true + Warn level")
 	selftest := fs.Bool("selftest", false, "run the load-generator gate instead of serving forever")
 	stRequests := fs.Int("selftest-requests", 256, "selftest: total predict requests")
 	stConcurrency := fs.Int("selftest-concurrency", 64, "selftest: concurrent in-flight requests")
@@ -58,6 +62,23 @@ func runServe(args []string) {
 		}
 		rec = obs.NewRecorder(obs.NewRegistry(), tracer)
 	}
+	// Seeded runs mint reproducible trace IDs, so the selftest's per-index
+	// client traces and the server's span records line up run over run.
+	rec.SeedTraceIDs(*seed)
+
+	var logger *slog.Logger
+	switch *accessLog {
+	case "":
+	case "-":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(fmt.Errorf("open access log: %w", err))
+		}
+		defer f.Close()
+		logger = slog.New(slog.NewJSONHandler(f, nil))
+	}
 
 	z := eval.NewZoo(*seed, *scale)
 	z.Rec = rec
@@ -76,6 +97,8 @@ func runServe(args []string) {
 		RequestTimeout:  *reqTimeout,
 		TransferTimeout: *transferTimeout,
 		Rec:             rec,
+		AccessLog:       logger,
+		SlowRequest:     *slowReq,
 	}
 	reg := serve.NewRegistry(zooTransferer(z), opts)
 	srv := serve.NewServer(reg, opts)
@@ -140,7 +163,8 @@ type selftestConfig struct {
 
 // BenchServe is the BENCH_serve.json document: the load configuration, the
 // latency/throughput report, and the registry's per-key evidence that cold
-// starts coalesced.
+// starts coalesced. Schema 2 added trace-echo accounting and the
+// sample-trace handle to the embedded LoadReport.
 type BenchServe struct {
 	SchemaVersion int               `json:"schema_version"`
 	GeneratedAt   string            `json:"generated_at"`
@@ -207,6 +231,7 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 
 	rep, err := serve.RunLoad(context.Background(), baseURL, items, serve.LoadOptions{
 		Concurrency: cfg.concurrency,
+		TraceSeed:   cfg.seed,
 	})
 	if err != nil {
 		return fmt.Errorf("selftest: load run: %w", err)
@@ -215,7 +240,12 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 
 	fmt.Printf("selftest: %d requests in %.2fs — %.0f req/s, p50 %.1fms p95 %.1fms p99 %.1fms\n",
 		rep.Requests, rep.WallS, rep.RPS, rep.P50us/1e3, rep.P95us/1e3, rep.P99us/1e3)
-	fmt.Printf("selftest: %d non-2xx, %d mismatches, %d cold hits\n", rep.Non2xx, rep.Mismatches, rep.ColdHits)
+	fmt.Printf("selftest: %d non-2xx, %d mismatches, %d cold hits, %d trace-echo misses\n",
+		rep.Non2xx, rep.Mismatches, rep.ColdHits, rep.TraceEchoMisses)
+	if rep.SampleTrace != "" {
+		fmt.Printf("selftest: slowest request trace %s (inspect: knowtrans obs trace FILE.jsonl -trace-id %s)\n",
+			rep.SampleTrace, rep.SampleTrace)
+	}
 	for _, st := range snap {
 		fmt.Printf("selftest: adapter %-24s transfers=%d requests=%d hits=%d misses=%d\n",
 			st.Key, st.Transfers, st.Requests, st.Hits, st.Misses)
@@ -223,7 +253,7 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 
 	if cfg.benchPath != "" {
 		doc := &BenchServe{
-			SchemaVersion: 1,
+			SchemaVersion: 2,
 			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 			Seed:          cfg.seed,
 			Scale:         cfg.scale,
@@ -255,6 +285,10 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 	if cfg.faults == "" && rep.Non2xx > 0 {
 		return fmt.Errorf("selftest: %d non-2xx responses with no faults armed (first: %s)",
 			rep.Non2xx, rep.FirstError)
+	}
+	if rep.TraceEchoMisses > 0 {
+		return fmt.Errorf("selftest: %d responses did not echo the client's traceparent (first: %s)",
+			rep.TraceEchoMisses, rep.FirstError)
 	}
 	for _, st := range snap {
 		if st.Transfers != 1 {

@@ -39,6 +39,10 @@ type Trace struct {
 	Roots  []*Node
 	Events []obs.SpanRecord
 	Spans  int
+	// Records holds every parsed record in file order (spans and events),
+	// retained for record-level consumers — trace-ID filtering, follow mode —
+	// that need more than the reassembled tree.
+	Records []obs.SpanRecord
 	// Truncated reports that the final line of the stream did not parse —
 	// the signature of a run that aborted mid-write. The loadable prefix is
 	// analyzed anyway.
@@ -99,7 +103,7 @@ func LoadFile(path string) (*Trace, error) {
 // build reassembles the span forest from flat records (file order = span
 // end order, children before parents).
 func build(recs []obs.SpanRecord) *Trace {
-	t := &Trace{}
+	t := &Trace{Records: recs}
 	nodes := map[uint64]*Node{}
 	var spans []*Node
 	for _, rec := range recs {
@@ -119,13 +123,20 @@ func build(recs []obs.SpanRecord) *Trace {
 			continue
 		}
 		parent, ok := nodes[p]
-		if !ok || parent == n {
-			// Parent never flushed (aborted run) — keep the subtree visible.
-			t.Orphans++
-			t.Roots = append(t.Roots, n)
+		// A parent id only attaches within the same trace: a serve.request
+		// span's parent is the *remote* span behind the traceparent header,
+		// whose id lives in the client's process and must not collide with a
+		// local span that happens to share the number. Remote-parented spans
+		// become clean roots of their trace; a missing *local* parent is the
+		// debris of an aborted run and still counts as an orphan.
+		if ok && parent != n && parent.Rec.Trace == n.Rec.Trace {
+			parent.Children = append(parent.Children, n)
 			continue
 		}
-		parent.Children = append(parent.Children, n)
+		if !n.Rec.Remote {
+			t.Orphans++
+		}
+		t.Roots = append(t.Roots, n)
 	}
 	var finish func(n *Node)
 	finish = func(n *Node) {
@@ -281,9 +292,12 @@ func (t *Trace) CriticalPath() []PathStep {
 	return path
 }
 
-// SlowSpan is one entry of the top-N slowest report.
+// SlowSpan is one entry of the top-N slowest report. Trace carries the
+// span's trace ID so a slow entry can be pulled whole with
+// `obs trace -trace-id`.
 type SlowSpan struct {
 	Name    string         `json:"name"`
+	Trace   string         `json:"trace,omitempty"`
 	DurUS   int64          `json:"dur_us"`
 	SelfUS  int64          `json:"self_us"`
 	StartUS int64          `json:"start_us"`
@@ -295,7 +309,7 @@ func (t *Trace) Slowest(n int) []SlowSpan {
 	var all []SlowSpan
 	t.Walk(func(nd *Node, _ int) {
 		all = append(all, SlowSpan{
-			Name: nd.Rec.Name, DurUS: nd.Rec.DurUS, SelfUS: nd.SelfUS,
+			Name: nd.Rec.Name, Trace: nd.Rec.Trace, DurUS: nd.Rec.DurUS, SelfUS: nd.SelfUS,
 			StartUS: nd.Rec.StartUS, Attrs: nd.Rec.Attrs,
 		})
 	})

@@ -1,0 +1,152 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// PathReport is the end-to-end reconstruction of one request's journey: the
+// spans of the requested trace itself, plus the shared-work spans from
+// *other* traces that declared a link into it (a `serve.batch` span links
+// every member request, so the batch that actually executed the model call
+// — and its children — belong in the request's story even though batching
+// hoisted them into their own trace).
+type PathReport struct {
+	TraceID string `json:"trace_id"`
+	// Spans and Events count the records belonging to the trace itself.
+	Spans  int `json:"spans"`
+	Events int `json:"events"`
+	// LinkedSpans counts the spans pulled in via links (shared work).
+	LinkedSpans int `json:"linked_spans"`
+
+	// Direct is the span forest of the trace itself, in start order.
+	Direct []*Node `json:"-"`
+	// DirectEvents are the trace's structured events, in file order.
+	DirectEvents []obs.SpanRecord `json:"-"`
+	// Linked holds the subtree roots of spans in other traces that link
+	// into this one, in start order.
+	Linked []*Node `json:"-"`
+}
+
+// FilterTrace reconstructs the path of one trace ID through the loaded
+// stream. The result is empty (Spans == 0, LinkedSpans == 0) when the ID
+// matches nothing — callers decide whether that is an error or a
+// keep-polling signal (follow mode).
+func (t *Trace) FilterTrace(id string) *PathReport {
+	rep := &PathReport{TraceID: id}
+	if id == "" {
+		return rep
+	}
+	direct := map[uint64]bool{}
+	t.Walk(func(n *Node, _ int) {
+		if n.Rec.Trace == id {
+			direct[n.Rec.Span] = true
+		}
+	})
+	// Direct forest: spans of the trace whose tree parent is not also in
+	// the trace (the build tree nests same-trace children already).
+	var collectDirect func(n *Node)
+	collectDirect = func(n *Node) {
+		if n.Rec.Trace == id {
+			rep.Direct = append(rep.Direct, n)
+			countSpans(n, &rep.Spans)
+			return
+		}
+		for _, c := range n.Children {
+			collectDirect(c)
+		}
+	}
+	for _, r := range t.Roots {
+		collectDirect(r)
+	}
+	// Linked shared work: any span (in any trace) holding a link that names
+	// this trace and one of its spans.
+	t.Walk(func(n *Node, _ int) {
+		for _, l := range n.Rec.Links {
+			if l.Trace == id && direct[l.Span] {
+				rep.Linked = append(rep.Linked, n)
+				countSpans(n, &rep.LinkedSpans)
+				break
+			}
+		}
+	})
+	sort.Slice(rep.Direct, func(i, j int) bool { return rep.Direct[i].Rec.StartUS < rep.Direct[j].Rec.StartUS })
+	sort.Slice(rep.Linked, func(i, j int) bool { return rep.Linked[i].Rec.StartUS < rep.Linked[j].Rec.StartUS })
+	for _, e := range t.Events {
+		if e.Trace == id {
+			rep.DirectEvents = append(rep.DirectEvents, e)
+			rep.Events++
+		}
+	}
+	return rep
+}
+
+func countSpans(n *Node, total *int) {
+	*total++
+	for _, c := range n.Children {
+		countSpans(c, total)
+	}
+}
+
+// Empty reports whether the filter matched nothing at all.
+func (p *PathReport) Empty() bool {
+	return p.Spans == 0 && p.LinkedSpans == 0 && p.Events == 0
+}
+
+// WriteText renders the path: the trace's own spans as an indented tree
+// (events inlined under their parent span), then each linked shared-work
+// subtree annotated with the link that pulled it in.
+func (p *PathReport) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s: %d span(s), %d event(s), %d linked span(s)\n",
+		p.TraceID, p.Spans, p.Events, p.LinkedSpans)
+	if p.Empty() {
+		sb.WriteString("  (no records match)\n")
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	eventsByParent := map[uint64][]obs.SpanRecord{}
+	for _, e := range p.DirectEvents {
+		eventsByParent[e.Parent] = append(eventsByParent[e.Parent], e)
+	}
+	var render func(n *Node, depth int)
+	render = func(n *Node, depth int) {
+		pad := strings.Repeat("  ", depth)
+		fmt.Fprintf(&sb, "  %s%s  %s (self %s)", pad, n.Rec.Name, fmtUS(n.Rec.DurUS), fmtUS(n.SelfUS))
+		if a := attrString(n.Rec.Attrs); a != "" {
+			fmt.Fprintf(&sb, "  %s", a)
+		}
+		sb.WriteString("\n")
+		for _, e := range eventsByParent[n.Rec.Span] {
+			fmt.Fprintf(&sb, "  %s  • %s", pad, e.Name)
+			if a := attrString(e.Attrs); a != "" {
+				fmt.Fprintf(&sb, "  %s", a)
+			}
+			sb.WriteString("\n")
+		}
+		for _, c := range n.Children {
+			render(c, depth+1)
+		}
+	}
+	for _, n := range p.Direct {
+		render(n, 0)
+	}
+	for _, n := range p.Linked {
+		fmt.Fprintf(&sb, "  ↳ shared work (trace %s links this request):\n", short(n.Rec.Trace))
+		render(n, 1)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// short abbreviates a 32-hex trace ID for display.
+func short(id string) string {
+	if len(id) > 8 {
+		return id[:8] + "…"
+	}
+	return id
+}

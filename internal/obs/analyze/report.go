@@ -112,10 +112,10 @@ func (r *Report) WriteText(w io.Writer) error {
 	}
 
 	fmt.Fprintf(&sb, "\nslowest spans (top %d):\n", len(r.Slowest))
-	rows = [][]string{{"NAME", "DUR", "SELF", "START", "ATTRS"}}
+	rows = [][]string{{"NAME", "DUR", "SELF", "START", "TRACE", "ATTRS"}}
 	for _, s := range r.Slowest {
 		rows = append(rows, []string{
-			s.Name, fmtUS(s.DurUS), fmtUS(s.SelfUS), fmtUS(s.StartUS), attrString(s.Attrs),
+			s.Name, fmtUS(s.DurUS), fmtUS(s.SelfUS), fmtUS(s.StartUS), s.Trace, attrString(s.Attrs),
 		})
 	}
 	writeAligned(&sb, rows)

@@ -38,3 +38,54 @@ func TestCanonicalTraceZeroesTiming(t *testing.T) {
 		t.Fatalf("CanonicalTrace mutated its input: %+v", in)
 	}
 }
+
+// TestCanonicalTraceRemapsTraceIDsAndLinks is the regression gate for the
+// request-tracing fields: raw trace IDs (seed- and mint-order-dependent)
+// must remap to stable placeholders in first-appearance order, links must
+// follow the same remapping and come out sorted, and the input must not be
+// mutated — otherwise the same-seed byte-identity gates in check.sh would
+// break the moment a trace carries serving spans.
+func TestCanonicalTraceRemapsTraceIDsAndLinks(t *testing.T) {
+	in := []SpanRecord{
+		{Span: 10, Name: "serve.request", Trace: "aaaa0000aaaa0000aaaa0000aaaa0000", StartUS: 5, DurUS: 90},
+		{Span: 11, Name: "serve.request", Trace: "bbbb0000bbbb0000bbbb0000bbbb0000", StartUS: 6, DurUS: 80},
+		{Span: 12, Name: "serve.batch", Trace: "cccc0000cccc0000cccc0000cccc0000", DurUS: 40,
+			Links: []SpanLink{
+				{Trace: "bbbb0000bbbb0000bbbb0000bbbb0000", Span: 11},
+				{Trace: "aaaa0000aaaa0000aaaa0000aaaa0000", Span: 10},
+			},
+			Attrs: map[string]any{"size": 2, "batch_us": 40}},
+	}
+	orig := make([]SpanRecord, len(in))
+	copy(orig, in)
+	origLinks := append([]SpanLink(nil), in[2].Links...)
+
+	out := CanonicalTrace(in)
+	want := []SpanRecord{
+		{Span: 10, Name: "serve.request", Trace: "t1"},
+		{Span: 11, Name: "serve.request", Trace: "t2"},
+		{Span: 12, Name: "serve.batch", Trace: "t3",
+			Links: []SpanLink{{Trace: "t1", Span: 10}, {Trace: "t2", Span: 11}},
+			Attrs: map[string]any{"size": 2}},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("canonical form wrong:\n got %+v\nwant %+v", out, want)
+	}
+	if !reflect.DeepEqual(in[2].Links, origLinks) || in[0].Trace != orig[0].Trace {
+		t.Fatalf("CanonicalTrace mutated its input: %+v", in)
+	}
+
+	// Same records, different raw IDs (another seed): identical canonical form.
+	re := make([]SpanRecord, len(in))
+	copy(re, in)
+	for i := range re {
+		re[i].Trace = "ffff" + re[i].Trace[4:]
+	}
+	re[2].Links = []SpanLink{
+		{Trace: "ffff0000bbbb0000bbbb0000bbbb0000", Span: 11},
+		{Trace: "ffff0000aaaa0000aaaa0000aaaa0000", Span: 10},
+	}
+	if got := CanonicalTrace(re); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reseeded trace canonicalized differently:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import "context"
+
+// Context plumbing carries the current span across API boundaries that a
+// *Recorder cannot cross — most importantly the serve path, where the HTTP
+// handler's request span must reach the per-adapter batching goroutine so
+// the batch span can link it. The span travels by pointer: the downstream
+// side reads its identity via Span.Context() and annotates it via the
+// mutex-guarded SetAttr, both safe across goroutines.
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span. A nil span returns
+// ctx unchanged, so untraced paths pay nothing.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil. The nil result
+// is safe for every Span method.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

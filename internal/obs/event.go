@@ -15,8 +15,16 @@ import (
 
 // Event writes one structured event under the given parent span id (0 for a
 // top-level event). args are slog-style attributes: alternating key/value
-// pairs, slog.Attr values, or slog groups.
+// pairs, slog.Attr values, or slog groups. The event carries no trace id;
+// use EventIn when the enclosing span's trace should be attributable.
 func (t *Tracer) Event(parent uint64, name string, args ...any) {
+	t.EventIn(SpanContext{Span: parent}, name, args...)
+}
+
+// EventIn writes one structured event under a parent span context, stamping
+// the parent's trace id on the record so trace-id filtering picks the event
+// up alongside its span.
+func (t *Tracer) EventIn(parent SpanContext, name string, args ...any) {
 	if t == nil {
 		return
 	}
@@ -25,10 +33,11 @@ func (t *Tracer) Event(parent uint64, name string, args ...any) {
 	t.writeEvent(parent, rec)
 }
 
-func (t *Tracer) writeEvent(parent uint64, rec slog.Record) {
+func (t *Tracer) writeEvent(parent SpanContext, rec slog.Record) {
 	out := SpanRecord{
 		Span:    t.nextID.Add(1),
-		Parent:  parent,
+		Parent:  parent.Span,
+		Trace:   parent.Trace.String(),
 		Kind:    KindEvent,
 		Name:    rec.Message,
 		StartUS: rec.Time.Sub(t.epoch).Microseconds(),
@@ -93,7 +102,7 @@ func (h *traceHandler) Handle(_ context.Context, rec slog.Record) error {
 		out.AddAttrs(a)
 		return true
 	})
-	h.t.writeEvent(0, out)
+	h.t.writeEvent(SpanContext{}, out)
 	return h.t.Err()
 }
 

@@ -50,6 +50,7 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	exemp  []atomic.Pointer[string]
 
 	count atomic.Int64
 	sum   atomic.Uint64 // float64 bits, CAS-accumulated
@@ -62,7 +63,11 @@ type Histogram struct {
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Int64, len(bs)+1),
+		exemp:  make([]atomic.Pointer[string], len(bs)+1),
+	}
 }
 
 // Observe records one value.
@@ -72,6 +77,22 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 	atomicAddFloat(&h.sum, v)
 	h.updateMinMax(v)
+}
+
+// ObserveExemplar records one value like Observe and, when exemplar is
+// non-empty, remembers it as the last exemplar of the bucket the value
+// landed in. The serving layer stamps trace IDs here, so a latency bucket
+// in /metrics.json always names a concrete recent trace to pull with
+// `knowtrans obs trace -trace-id`.
+func (h *Histogram) ObserveExemplar(v float64, exemplar string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sum, v)
+	h.updateMinMax(v)
+	if exemplar != "" {
+		h.exemp[i].Store(&exemplar)
+	}
 }
 
 func (h *Histogram) updateMinMax(v float64) {
@@ -177,6 +198,9 @@ type HistogramSnapshot struct {
 	P99   float64   `json:"p99"`
 	Le    []float64 `json:"le,omitempty"`     // bucket upper bounds
 	Bkt   []int64   `json:"counts,omitempty"` // per-bucket counts incl. overflow
+	// Exemplars holds the last exemplar (a trace ID, on the serve path)
+	// recorded per bucket, aligned with Bkt; absent when none were stamped.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Snapshot summarizes the histogram's current state.
@@ -197,6 +221,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.Bkt = make([]int64, len(h.counts))
 	for i := range h.counts {
 		s.Bkt[i] = h.counts[i].Load()
+	}
+	var stamped bool
+	ex := make([]string, len(h.exemp))
+	for i := range h.exemp {
+		if p := h.exemp[i].Load(); p != nil {
+			ex[i] = *p
+			stamped = true
+		}
+	}
+	if stamped {
+		s.Exemplars = ex
 	}
 	return s
 }

@@ -42,6 +42,27 @@ func (r *Recorder) StartSpan(name string) (*Recorder, *Span) {
 	return &Recorder{Metrics: r.Metrics, Tracer: r.Tracer, parent: s}, s
 }
 
+// StartSpanIn opens a span inside an existing trace under a remote parent
+// (the span context a `traceparent` header carried) and returns it with a
+// derived recorder, ignoring the recorder's own parent span. A zero remote
+// behaves like StartSpan on a parentless recorder: fresh root, fresh trace.
+func (r *Recorder) StartSpanIn(name string, remote SpanContext) (*Recorder, *Span) {
+	if r == nil || r.Tracer == nil {
+		return r, nil
+	}
+	s := r.Tracer.StartSpanIn(name, remote)
+	return &Recorder{Metrics: r.Metrics, Tracer: r.Tracer, parent: s}, s
+}
+
+// SeedTraceIDs makes the tracer's trace IDs deterministic in the seed; a
+// recorder without a tracer ignores it.
+func (r *Recorder) SeedTraceIDs(seed int64) {
+	if r == nil {
+		return
+	}
+	r.Tracer.SeedTraceIDs(seed)
+}
+
 // Count adds d to the named counter.
 func (r *Recorder) Count(name string, d int64) {
 	if r == nil || r.Metrics == nil {
@@ -67,11 +88,7 @@ func (r *Recorder) Event(name string, args ...any) {
 	if r == nil || r.Tracer == nil {
 		return
 	}
-	var parent uint64
-	if r.parent != nil {
-		parent = r.parent.id
-	}
-	r.Tracer.Event(parent, name, args...)
+	r.Tracer.EventIn(r.parent.Context(), name, args...)
 }
 
 // Observe records v in the named histogram (created with the given bounds,
@@ -81,6 +98,17 @@ func (r *Recorder) Observe(name string, v float64, bounds []float64) {
 		return
 	}
 	r.Metrics.Histogram(name, bounds).Observe(v)
+}
+
+// ObserveEx records v in the named histogram like Observe and, when
+// exemplar is non-empty, stamps it as the bucket's exemplar — the "last
+// trace ID seen in this latency bucket" breadcrumb /metrics.json exposes,
+// which turns a fat tail bucket into a concrete trace to pull.
+func (r *Recorder) ObserveEx(name string, v float64, bounds []float64, exemplar string) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	r.Metrics.Histogram(name, bounds).ObserveExemplar(v, exemplar)
 }
 
 // Now returns the wall clock when the recorder is live and the zero time

@@ -50,6 +50,9 @@ type batcher struct {
 	maxBatch int
 	maxWait  time.Duration
 	rec      *obs.Recorder
+	// depthGauge is the per-key queue depth gauge name, precomputed so the
+	// enqueue hot path does no string concatenation.
+	depthGauge string
 
 	mu      sync.Mutex
 	queue   []*predictReq
@@ -65,14 +68,15 @@ type batcher struct {
 
 func newBatcher(key string, ad Adapter, maxBatch int, maxWait time.Duration, rec *obs.Recorder) *batcher {
 	b := &batcher{
-		key:      key,
-		ad:       ad,
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
-		rec:      rec,
-		wake:     make(chan struct{}, 1),
-		stopc:    make(chan struct{}),
-		done:     make(chan struct{}),
+		key:        key,
+		ad:         ad,
+		maxBatch:   maxBatch,
+		maxWait:    maxWait,
+		rec:        rec,
+		depthGauge: "serve.queue_depth/" + key,
+		wake:       make(chan struct{}, 1),
+		stopc:      make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	go b.run()
 	return b
@@ -95,6 +99,7 @@ func (b *batcher) predict(ctx context.Context, in *data.Instance) (string, error
 	depth := len(b.queue)
 	b.mu.Unlock()
 	b.rec.Observe("serve.queue_depth", float64(depth), sizeBounds)
+	b.rec.SetGauge(b.depthGauge, float64(depth))
 	select {
 	case b.wake <- struct{}{}:
 	default:
@@ -167,7 +172,9 @@ func (b *batcher) run() {
 		copy(batch, b.queue[:n])
 		rest := b.queue[n:]
 		b.queue = append(b.queue[:0:0], rest...)
+		left := len(b.queue)
 		b.mu.Unlock()
+		b.rec.SetGauge(b.depthGauge, float64(left))
 		b.serve(batch)
 	}
 }
@@ -198,6 +205,13 @@ func (b *batcher) linger() {
 // serve answers one batch. Per-adapter calls are serialized by construction
 // (one loop per batcher); requests whose context already expired are shed
 // without touching the model.
+//
+// The serve.batch span lives in its own trace — batching is shared work, so
+// it belongs to no single request — and instead *links* every member
+// request's span, the OTel link idiom for amortized execution. Each member's
+// queue wait is annotated onto its own request span and fed back to the
+// access log through the requestInfo carrier, so "my request was slow" and
+// "the batch it rode was busy" stay connected.
 func (b *batcher) serve(batch []*predictReq) {
 	_, span := b.rec.StartSpan("serve.batch")
 	span.SetAttr("key", b.key)
@@ -205,13 +219,25 @@ func (b *batcher) serve(batch []*predictReq) {
 	start := time.Now()
 	b.rec.Observe("serve.batch_size", float64(len(batch)), sizeBounds)
 	for _, r := range batch {
-		b.rec.Observe("serve.queue_us", float64(time.Since(r.enq).Microseconds()), nil)
+		queueUS := time.Since(r.enq).Microseconds()
+		b.rec.Observe("serve.queue_us", float64(queueUS), nil)
+		if rs := obs.SpanFromContext(r.ctx); rs != nil {
+			span.Link(rs.Context())
+			rs.SetAttr("queue_us", queueUS)
+		}
+		if ri := requestInfoFrom(r.ctx); ri != nil {
+			ri.batchSize.Store(int64(len(batch)))
+			ri.queueUS.Store(queueUS)
+		}
 		if err := r.ctx.Err(); err != nil {
 			r.resp <- predictResp{err: err}
 			b.rec.Count("serve.shed", 1)
 			continue
 		}
-		r.resp <- predictResp{ans: b.ad.Predict(r.ctx, r.in)}
+		ps := span.StartChild("serve.predict")
+		ans := b.ad.Predict(r.ctx, r.in)
+		ps.End()
+		r.resp <- predictResp{ans: ans}
 	}
 	b.rec.Count("serve.batches", 1)
 	b.rec.Observe("serve.batch_us", float64(time.Since(start).Microseconds()), nil)

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // LoadItem is one request of a load run: the adapter key, the instance,
@@ -30,6 +32,11 @@ type LoadOptions struct {
 	// Timeout bounds one HTTP request. Default 120s (a cold adapter pays
 	// for a full Transfer on its first predict).
 	Timeout time.Duration
+	// TraceSeed seeds the deterministic per-request trace IDs the generator
+	// sends as `traceparent` headers (item i gets the i-th ID of the stream,
+	// independent of worker scheduling). Zero seeds from the clock — IDs are
+	// still sent, just not reproducible across runs.
+	TraceSeed int64
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -45,11 +52,17 @@ func (o LoadOptions) withDefaults() LoadOptions {
 // LoadReport summarizes one load run. Latencies are per-request
 // microseconds over the full HTTP round trip.
 type LoadReport struct {
-	Requests    int     `json:"requests"`
-	Non2xx      int     `json:"non_2xx"`
-	Mismatches  int     `json:"mismatches"`
-	ColdHits    int     `json:"cold_hits"`
-	Concurrency int     `json:"concurrency"`
+	Requests    int `json:"requests"`
+	Non2xx      int `json:"non_2xx"`
+	Mismatches  int `json:"mismatches"`
+	ColdHits    int `json:"cold_hits"`
+	Concurrency int `json:"concurrency"`
+	// TraceEchoMisses counts 2xx responses whose traceparent echo did not
+	// carry the trace ID the generator sent — i.e. propagation broke.
+	TraceEchoMisses int `json:"trace_echo_misses"`
+	// SampleTrace is the trace ID of the slowest request of the run: the
+	// one to pull first with `knowtrans obs trace -trace-id`.
+	SampleTrace string  `json:"sample_trace,omitempty"`
 	WallS       float64 `json:"wall_s"`
 	RPS         float64 `json:"throughput_rps"`
 	P50us       float64 `json:"p50_us"`
@@ -76,12 +89,21 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 	if workers > len(items) {
 		workers = len(items)
 	}
+	seed := opts.TraceSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	ids := obs.NewIDSource(seed)
+	traceFor := func(i int) obs.SpanContext {
+		return obs.SpanContext{Trace: ids.At(uint64(i + 1)), Span: ids.SpanIDAt(uint64(i + 1))}
+	}
 
 	var (
 		next       atomic.Int64
 		non2xx     atomic.Int64
 		mismatches atomic.Int64
 		cold       atomic.Int64
+		echoMiss   atomic.Int64
 
 		mu       sync.Mutex
 		latUs    = make([]float64, len(items))
@@ -116,6 +138,8 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 					continue
 				}
 				req.Header.Set("Content-Type", "application/json")
+				sent := traceFor(i)
+				req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(sent))
 				resp, err := client.Do(req)
 				latUs[i] = float64(time.Since(t0).Microseconds())
 				if err != nil {
@@ -129,6 +153,11 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 					non2xx.Add(1)
 					fail(fmt.Sprintf("request %d (%s): HTTP %d: %s", i, it.Key, resp.StatusCode, bytes.TrimSpace(payload)))
 					continue
+				}
+				if echo, perr := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); perr != nil || echo.Trace != sent.Trace {
+					echoMiss.Add(1)
+					fail(fmt.Sprintf("request %d (%s): traceparent not echoed (sent trace %s, got %q)",
+						i, it.Key, sent.Trace, resp.Header.Get(obs.TraceparentHeader)))
 				}
 				var pr PredictResponse
 				if err := json.Unmarshal(payload, &pr); err != nil {
@@ -152,6 +181,12 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 		return nil, err
 	}
 
+	slowest := 0
+	for i, l := range latUs {
+		if l > latUs[slowest] {
+			slowest = i
+		}
+	}
 	sorted := append([]float64(nil), latUs...)
 	sort.Float64s(sorted)
 	q := func(p float64) float64 {
@@ -162,17 +197,19 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 		return sorted[i]
 	}
 	return &LoadReport{
-		Requests:    len(items),
-		Non2xx:      int(non2xx.Load()),
-		Mismatches:  int(mismatches.Load()),
-		ColdHits:    int(cold.Load()),
-		Concurrency: workers,
-		WallS:       wall.Seconds(),
-		RPS:         float64(len(items)) / wall.Seconds(),
-		P50us:       q(0.50),
-		P95us:       q(0.95),
-		P99us:       q(0.99),
-		MaxUs:       sorted[len(sorted)-1],
-		FirstError:  firstErr,
+		Requests:        len(items),
+		Non2xx:          int(non2xx.Load()),
+		Mismatches:      int(mismatches.Load()),
+		ColdHits:        int(cold.Load()),
+		Concurrency:     workers,
+		TraceEchoMisses: int(echoMiss.Load()),
+		SampleTrace:     traceFor(slowest).Trace.String(),
+		WallS:           wall.Seconds(),
+		RPS:             float64(len(items)) / wall.Seconds(),
+		P50us:           q(0.50),
+		P95us:           q(0.95),
+		P99us:           q(0.99),
+		MaxUs:           sorted[len(sorted)-1],
+		FirstError:      firstErr,
 	}, nil
 }

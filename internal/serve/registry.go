@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -76,6 +77,14 @@ type Options struct {
 	// Rec threads observability through the service. Nil disables it at
 	// zero cost.
 	Rec *obs.Recorder
+	// AccessLog receives one structured line per HTTP request (trace ID,
+	// route, status, adapter key, batch size, queue wait, latency). Nil
+	// disables access logging.
+	AccessLog *slog.Logger
+	// SlowRequest is the latency beyond which the access-log line is
+	// escalated to Warn with slow=true. Default 1s; negative disables the
+	// escalation.
+	SlowRequest time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +99,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 60 * time.Second
+	}
+	if o.SlowRequest == 0 {
+		o.SlowRequest = time.Second
 	}
 	return o
 }
@@ -249,7 +261,7 @@ func (r *Registry) get(ctx context.Context, key string) (e *entry, cold bool, er
 		r.inflight[key] = f
 		classifyLocked(false)
 		r.mu.Unlock()
-		r.build(key, f)
+		r.build(ctx, key, f)
 		if f.err != nil {
 			return nil, cold, f.err
 		}
@@ -259,10 +271,13 @@ func (r *Registry) get(ctx context.Context, key string) (e *entry, cold bool, er
 // build runs the Transfer for one flight and publishes the result. It runs
 // on the triggering requester's goroutine but under a context detached from
 // that request, bounded only by TransferTimeout: coalesced waiters must not
-// inherit the first requester's deadline. The slot is released and waiters
-// woken under defer, so a panicking Transfer fails its waiters (they see
-// the panic as an error) instead of wedging the key.
-func (r *Registry) build(key string, f *flight) {
+// inherit the first requester's deadline. reqCtx is used for span linkage
+// only — the serve.transfer span links the triggering request's span, so a
+// request that paid a cold start stays attributable — never for
+// cancellation. The slot is released and waiters woken under defer, so a
+// panicking Transfer fails its waiters (they see the panic as an error)
+// instead of wedging the key.
+func (r *Registry) build(reqCtx context.Context, key string, f *flight) {
 	bctx := context.Background()
 	cancel := context.CancelFunc(func() {})
 	if r.opts.TransferTimeout > 0 {
@@ -270,6 +285,9 @@ func (r *Registry) build(key string, f *flight) {
 	}
 	_, span := r.rec.StartSpan("serve.transfer")
 	span.SetAttr("key", key)
+	if rs := obs.SpanFromContext(reqCtx); rs != nil {
+		span.Link(rs.Context())
+	}
 	start := time.Now()
 	defer func() {
 		cancel()

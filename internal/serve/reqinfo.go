@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// requestInfo rides the request context from the HTTP handler down through
+// the registry into the batcher, carrying back the facts the access log
+// wants that only deeper layers know: which adapter key the request
+// resolved to, how large the batch that served it was, and how long it sat
+// queued. Key is written by the handler goroutine before the batcher can
+// see the request and read after it replies, so it needs no atomics; the
+// batch fields are written by the batcher goroutine — which may outlive a
+// requester that gave up — so they do.
+type requestInfo struct {
+	key       string
+	batchSize atomic.Int64
+	queueUS   atomic.Int64
+}
+
+type reqInfoKey struct{}
+
+// withRequestInfo stores ri in the context.
+func withRequestInfo(ctx context.Context, ri *requestInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey{}, ri)
+}
+
+// requestInfoFrom retrieves the request's info carrier, nil when absent
+// (e.g. a registry used directly, without the HTTP layer).
+func requestInfoFrom(ctx context.Context) *requestInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*requestInfo)
+	return ri
+}

@@ -5,7 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/data"
@@ -23,11 +27,13 @@ import (
 //	GET  /metrics      Prometheus text exposition (when a metrics registry is wired)
 //	GET  /metrics.json the same snapshot as JSON
 type Server struct {
-	reg   *Registry
-	opts  Options
-	rec   *obs.Recorder
-	mux   *http.ServeMux
-	start time.Time
+	reg      *Registry
+	opts     Options
+	rec      *obs.Recorder
+	mux      *http.ServeMux
+	start    time.Time
+	revision string
+	inflight atomic.Int64
 }
 
 // NewServer wraps a registry in the HTTP API. opts should be the same
@@ -36,11 +42,12 @@ type Server struct {
 func NewServer(reg *Registry, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		reg:   reg,
-		opts:  opts,
-		rec:   opts.Rec,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		reg:      reg,
+		opts:     opts,
+		rec:      opts.Rec,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		revision: vcsRevision(),
 	}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/adapters", s.handleAdapters)
@@ -148,14 +155,45 @@ type AdaptersResponse struct {
 	Adapters []KeyStats `json:"adapters"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz: liveness plus enough build
+// and occupancy context to identify what is running ("which revision is
+// this, how full is it") from one curl.
 type HealthResponse struct {
-	OK       bool    `json:"ok"`
-	UptimeS  float64 `json:"uptime_s"`
-	Resident int     `json:"resident"`
-	MaxBatch int     `json:"max_batch"`
-	MaxWaitS float64 `json:"max_wait_s"`
-	MaxAdapt int     `json:"max_adapters"`
+	OK        bool    `json:"ok"`
+	UptimeS   float64 `json:"uptime_s"`
+	GoVersion string  `json:"go_version"`
+	Revision  string  `json:"revision,omitempty"`
+	Resident  int     `json:"resident"`
+	MaxBatch  int     `json:"max_batch"`
+	MaxWaitS  float64 `json:"max_wait_s"`
+	MaxAdapt  int     `json:"max_adapters"`
+}
+
+// vcsRevision extracts the VCS revision stamped into the binary at build
+// time (empty for `go test` binaries and builds outside a checkout).
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
 }
 
 type errorResponse struct {
@@ -197,23 +235,73 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// instrument wraps one handler in the serve.request span and the request
-// counters/latency histogram.
+// instrument wraps one handler in the full request-scoped observability
+// path: it ingests the W3C `traceparent` header (so the serve.request span
+// joins the caller's trace), threads the span and a requestInfo carrier
+// through the request context for the registry/batcher to annotate, echoes
+// a traceparent back (the server span's context when tracing is on, the
+// inbound value verbatim otherwise), and emits counters, an exemplar-stamped
+// latency observation, and one structured access-log line per request.
 func (s *Server) instrument(route string, w http.ResponseWriter, r *http.Request, h func(w *statusWriter, r *http.Request)) {
-	_, span := s.rec.StartSpan("serve.request")
+	inTP := r.Header.Get(obs.TraceparentHeader)
+	var remote obs.SpanContext
+	if inTP != "" {
+		remote, _ = obs.ParseTraceparent(inTP) // malformed → fresh trace
+	}
+	_, span := s.rec.StartSpanIn("serve.request", remote)
 	span.SetAttr("route", route)
 	span.SetAttr("method", r.Method)
+	traceID := span.Context().Trace.String()
+	if span != nil {
+		w.Header().Set(obs.TraceparentHeader, obs.FormatTraceparent(span.Context()))
+	} else if inTP != "" {
+		// No tracer wired: echo the caller's header verbatim so propagation
+		// is still observable end to end.
+		w.Header().Set(obs.TraceparentHeader, inTP)
+	}
+
+	ri := &requestInfo{}
+	ctx := withRequestInfo(r.Context(), ri)
+	ctx = obs.ContextWithSpan(ctx, span)
+	r = r.WithContext(ctx)
+
+	s.rec.SetGauge("serve.inflight", float64(s.inflight.Add(1)))
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	h(sw, r)
+	dur := time.Since(start)
+	s.rec.SetGauge("serve.inflight", float64(s.inflight.Add(-1)))
+
 	span.SetAttr("status", sw.status)
+	if ri.key != "" {
+		span.SetAttr("key", ri.key)
+	}
 	span.End()
 	s.rec.Count("serve.requests", 1)
 	s.rec.Count(fmt.Sprintf("serve.requests/%s", route), 1)
 	if sw.status >= 400 {
 		s.rec.Count("serve.request_errors", 1)
 	}
-	s.rec.Observe("serve.request_us", float64(time.Since(start).Microseconds()), nil)
+	s.rec.ObserveEx("serve.request_us", float64(dur.Microseconds()), nil, traceID)
+
+	if s.opts.AccessLog != nil {
+		slow := s.opts.SlowRequest > 0 && dur >= s.opts.SlowRequest
+		level := slog.LevelInfo
+		if slow || sw.status >= 500 {
+			level = slog.LevelWarn
+		}
+		s.opts.AccessLog.LogAttrs(r.Context(), level, "request",
+			slog.String("trace", traceID),
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.Int("status", sw.status),
+			slog.String("key", ri.key),
+			slog.Int64("batch", ri.batchSize.Load()),
+			slog.Int64("queue_us", ri.queueUS.Load()),
+			slog.Int64("dur_us", dur.Microseconds()),
+			slog.Bool("slow", slow),
+		)
+	}
 }
 
 // statusWriter remembers the response code for the span and error counter.
@@ -241,6 +329,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if req.Adapter == "" {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing adapter key"})
 			return
+		}
+		if ri := requestInfoFrom(r.Context()); ri != nil {
+			ri.key = req.Adapter
 		}
 		if len(req.Instance.Candidates) == 0 {
 			// Prediction ranks candidate answers (DESIGN.md: open-domain tasks
@@ -277,6 +368,9 @@ func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing adapter key"})
 				return
 			}
+			if ri := requestInfoFrom(r.Context()); ri != nil {
+				ri.key = req.Key
+			}
 			ctx, cancel := s.requestCtx(r)
 			defer cancel()
 			cold, err := s.reg.Warm(ctx, req.Key)
@@ -294,12 +388,14 @@ func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.instrument("healthz", w, r, func(w *statusWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, HealthResponse{
-			OK:       true,
-			UptimeS:  time.Since(s.start).Seconds(),
-			Resident: s.reg.Resident(),
-			MaxBatch: s.opts.MaxBatch,
-			MaxWaitS: s.opts.MaxWait.Seconds(),
-			MaxAdapt: s.opts.MaxAdapters,
+			OK:        true,
+			UptimeS:   time.Since(s.start).Seconds(),
+			GoVersion: runtime.Version(),
+			Revision:  s.revision,
+			Resident:  s.reg.Resident(),
+			MaxBatch:  s.opts.MaxBatch,
+			MaxWaitS:  s.opts.MaxWait.Seconds(),
+			MaxAdapt:  s.opts.MaxAdapters,
 		})
 	})
 }

@@ -161,6 +161,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if !hr.OK || hr.MaxBatch != 8 || hr.MaxAdapt != 8 {
 		t.Fatalf("healthz = %+v", hr)
 	}
+	if hr.GoVersion == "" || hr.UptimeS < 0 {
+		t.Fatalf("healthz missing build info: %+v", hr)
+	}
 	// A predict populates the request counters the /metrics endpoint renders.
 	postJSON(t, srv.URL+"/v1/predict", PredictRequest{
 		Adapter:  "EM/A",
@@ -213,8 +216,11 @@ func TestRunLoadAgainstServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Non2xx != 0 || rep.Mismatches != 0 {
+	if rep.Non2xx != 0 || rep.Mismatches != 0 || rep.TraceEchoMisses != 0 {
 		t.Fatalf("report = %+v (first error: %s)", rep, rep.FirstError)
+	}
+	if rep.SampleTrace == "" {
+		t.Fatal("load report carries no sample trace")
 	}
 	if rep.Requests != 128 || rep.P50us <= 0 || rep.P95us < rep.P50us || rep.RPS <= 0 {
 		t.Fatalf("implausible report %+v", rep)

@@ -10,11 +10,16 @@
 # re-runs the experiment through the fault-injection chain: at rate 0 the
 # tables must stay byte-identical to the unwrapped run, and at a 30% seeded
 # fault rate the run must complete exit 0 with injection metrics recorded.
-# Finally a serve gate runs `knowtrans serve -selftest`: a 64-concurrent
-# seeded load over 4 adapters through the real HTTP path must return zero
-# non-2xx, answer byte-identically to the direct Adapted.Predict path,
+# Finally a serve gate runs `knowtrans serve -selftest` with tracing and
+# the access log armed: a 64-concurrent seeded load over 4 adapters through
+# the real HTTP path must return zero non-2xx, echo every client
+# traceparent, answer byte-identically to the direct Adapted.Predict path,
 # coalesce every adapter's cold start to exactly one Transfer, and record
-# the run in BENCH_serve.json.
+# the run in BENCH_serve.json. The telemetry it leaves behind is then
+# audited: every 2xx predict produced exactly one access-log line carrying
+# a trace ID, every serve.batch span links at least one request span, and
+# `obs trace -trace-id` reconstructs the slowest request's end-to-end path.
+# `obs trace` on a missing file must exit 2 with usage, not panic or pass.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -126,7 +131,8 @@ echo "check.sh: tier-2 chaos gate passed"
 # and to have actually measured the load.
 "$tmp/knowtrans" serve -selftest -scale 0.05 -seed 7 \
 	-selftest-requests 256 -selftest-concurrency 64 -selftest-adapters 4 \
-	-bench "$tmp/serve.json" >"$tmp/serve.out" || {
+	-bench "$tmp/serve.json" -trace "$tmp/serve.jsonl" \
+	-access-log "$tmp/access.log" >"$tmp/serve.out" || {
 	echo "check.sh: serve selftest failed:" >&2
 	cat "$tmp/serve.out" >&2
 	exit 1
@@ -139,5 +145,60 @@ grep -q '"requests": 256' "$tmp/serve.json" || {
 	echo "check.sh: BENCH_serve.json did not record the 256-request load" >&2
 	exit 1
 }
+
+# Access log: the selftest passed, so all 256 predicts were 2xx — each must
+# have produced exactly one log line, and every line must carry a trace ID.
+lines=$(grep -c '"msg":"request"' "$tmp/access.log" || true)
+if [ "$lines" != 256 ]; then
+	echo "check.sh: access log has $lines request lines, want 256" >&2
+	exit 1
+fi
+traced=$(grep '"msg":"request"' "$tmp/access.log" | grep -c '"trace":"[0-9a-f]' || true)
+if [ "$traced" != 256 ]; then
+	echo "check.sh: only $traced/256 access-log lines carry a trace ID" >&2
+	exit 1
+fi
+
+# Span stream: batching ran, and every serve.batch span links the request
+# spans it served (the handle that makes shared work attributable).
+batches=$(grep -c '"name":"serve.batch"' "$tmp/serve.jsonl" || true)
+if [ "$batches" = 0 ]; then
+	echo "check.sh: selftest trace recorded no serve.batch spans" >&2
+	exit 1
+fi
+linked=$(grep '"name":"serve.batch"' "$tmp/serve.jsonl" | grep -c '"links":\[' || true)
+if [ "$linked" != "$batches" ]; then
+	echo "check.sh: only $linked/$batches serve.batch spans carry request links" >&2
+	exit 1
+fi
+
+# End-to-end reconstruction: pull the slowest request's trace ID the
+# selftest printed and require `obs trace -trace-id` to reassemble its path
+# — the request span plus the linked batch that actually served it.
+sample=$(sed -n 's/^selftest: slowest request trace \([0-9a-f]*\).*/\1/p' "$tmp/serve.out")
+if [ -z "$sample" ]; then
+	echo "check.sh: selftest printed no sample trace ID" >&2
+	exit 1
+fi
+"$tmp/knowtrans" obs trace "$tmp/serve.jsonl" -trace-id "$sample" >"$tmp/path.out" || {
+	echo "check.sh: obs trace -trace-id $sample failed" >&2
+	exit 1
+}
+for want in serve.request serve.batch; do
+	grep -q "$want" "$tmp/path.out" || {
+		echo "check.sh: obs trace -trace-id reconstruction lacks $want:" >&2
+		cat "$tmp/path.out" >&2
+		exit 1
+	}
+done
+
+# A missing trace file is an operator mistake: exit 2 with usage, never a
+# panic and never a success.
+rc=0
+"$tmp/knowtrans" obs trace "$tmp/no-such-trace.jsonl" >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 2 ]; then
+	echo "check.sh: obs trace on a missing file exited $rc, want 2" >&2
+	exit 1
+fi
 echo "check.sh: tier-2 serve gate passed"
 echo "check.sh: all gates passed"
