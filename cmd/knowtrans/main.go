@@ -14,9 +14,11 @@
 // fig5 fig6 fig7 (see DESIGN.md for the mapping to the paper).
 //
 // Every subcommand accepts the observability flags -trace FILE.jsonl,
-// -metrics FILE.json, and -pprof ADDR (see internal/obs and the
-// "Observability" section of DESIGN.md). `knowtrans experiment` also
-// writes a machine-readable BENCH_run.json run record (-bench to rename,
+// -metrics FILE.json, -pprof ADDR, and the profiling family -sample,
+// -timeline, -cpuprofile, -memprofile, -profdir (see internal/obs,
+// internal/obs/profile, and the "Observability" and "Profiling & resource
+// accounting" sections of DESIGN.md). `knowtrans experiment` also writes
+// a machine-readable BENCH_run.json run record (-bench to rename,
 // -bench "" to disable) and accepts -faults to run the grid under seeded
 // chaos injection on the oracle path (see internal/faults and the
 // "Resilience & chaos testing" section of DESIGN.md).
@@ -83,12 +85,21 @@ func usage() {
   knowtrans obs trace FILE.jsonl [-top N] [-json] [-trace-id ID] [-follow]
   knowtrans obs top [-url URL] [-interval D] [-n N] [-once]
   knowtrans obs diff A.json B.json [-rel-tol F] [-strict] [-json]
+  knowtrans obs prof TIMELINE.jsonl [-windows N] [-gate] [-diff BASELINE.jsonl] [-json]
 
 observability flags (any subcommand):
   -trace FILE.jsonl   write a span trace (Transfer → SKC stages → AKB iterations)
   -metrics FILE.json  write counters/gauges/latency histograms at exit
   -pprof ADDR         serve net/http/pprof plus live /metrics (Prometheus
-                      text) and /metrics.json on ADDR while the run executes`)
+                      text) and /metrics.json on ADDR while the run executes
+  -sample D           poll runtime/metrics every D into the registry and a
+                      JSONL timeline for knowtrans obs prof
+  -timeline FILE      where -sample writes the timeline (default: next to
+                      the trace file, else runtime.jsonl)
+  -cpuprofile FILE    whole-run CPU profile (pprof-labeled by route/key/
+                      batch/phase/cell)
+  -memprofile FILE    heap profile written at exit
+  -profdir DIR        slow-request-triggered CPU/heap captures (serve)`)
 }
 
 // newFlagSet returns a flag set that reports parse errors to the caller

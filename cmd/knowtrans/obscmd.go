@@ -28,6 +28,8 @@ func runObs(args []string) {
 		runObsDiff(args[1:])
 	case "top":
 		runObsTop(args[1:])
+	case "prof":
+		runObsProf(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "knowtrans: unknown obs subcommand %q\n", args[0])
 		obsUsage()
@@ -47,8 +49,15 @@ func obsUsage() {
       live operator view of a running server: polls /metrics.json for
       in-flight requests, per-key queue depths, and rolling p50/p95
   knowtrans obs diff A.json B.json [-rel-tol F] [-wall-tol F] [-strict] [-verbose] [-json]
-      compare two BENCH_run.json documents metric-by-metric; exits 1 when
-      any metric regressed beyond the relative tolerance`)
+      compare two BENCH_run.json or BENCH_serve.json documents
+      metric-by-metric; exits 1 when any metric regressed beyond the
+      relative tolerance
+  knowtrans obs prof TIMELINE.jsonl [-windows N] [-json] [-gate] [-diff BASELINE.jsonl] [-rel-tol F]
+      summarize a runtime-metrics timeline recorded with -sample: heap
+      growth slope, GC pause p50/p95, goroutine-leak detection across
+      windows, alloc rate. -gate exits 1 on a suspected leak; -diff
+      compares against a baseline timeline and exits 1 on budget
+      regression — the perf sentinel`)
 }
 
 func runObsTrace(args []string) {
@@ -131,6 +140,74 @@ func runObsTrace(args []string) {
 			return
 		}
 		time.Sleep(*interval)
+	}
+}
+
+// runObsProf summarizes a runtime-metrics timeline (the JSONL the
+// -sample flag records) and optionally gates it: -gate fails on the
+// timeline's own leak verdicts, -diff fails on budget regressions
+// against a baseline timeline.
+func runObsProf(args []string) {
+	fs := newFlagSet("obs prof")
+	windows := fs.Int("windows", 4, "analysis windows for leak detection")
+	asJSON := fs.Bool("json", false, "emit the report/diff as JSON instead of text")
+	gate := fs.Bool("gate", false, "exit 1 when the timeline shows a goroutine leak or unbounded heap growth")
+	baseline := fs.String("diff", "", "baseline timeline `file`; exit 1 on budget regression against it")
+	relTol := fs.Float64("rel-tol", 0.25, "relative headroom for -diff budgets")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(os.Stderr, "knowtrans: obs prof needs a runtime timeline file")
+		obsUsage()
+		os.Exit(2)
+	}
+	path := args[0]
+	parseOrExit(fs, args[1:])
+
+	load := func(p string) *analyze.ProfReport {
+		rows, err := analyze.LoadTimeline(p)
+		if err != nil {
+			// Same contract as obs trace: an unreadable input is an operator
+			// mistake — explain, show usage, exit 2.
+			fmt.Fprintf(os.Stderr, "knowtrans: %v\n", err)
+			obsUsage()
+			runObsCleanup()
+			os.Exit(2)
+		}
+		return analyze.NewProfReport(rows, *windows)
+	}
+
+	rep := load(path)
+	if *baseline != "" {
+		base := load(*baseline)
+		bud := analyze.DefaultProfBudget()
+		bud.RelTol = *relTol
+		d := analyze.DiffProf(base, rep, bud)
+		var err error
+		if *asJSON {
+			err = d.WriteJSON(os.Stdout)
+		} else {
+			fmt.Printf("prof diff %s -> %s\n", *baseline, path)
+			err = d.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if d.HasRegressions() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var err error
+	if *asJSON {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *gate && rep.Unhealthy() {
+		os.Exit(1)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/serve"
 )
 
@@ -99,6 +100,8 @@ func runServe(args []string) {
 		Rec:             rec,
 		AccessLog:       logger,
 		SlowRequest:     *slowReq,
+		Sampler:         of.sampler,
+		Profiles:        of.trigger,
 	}
 	reg := serve.NewRegistry(zooTransferer(z), opts)
 	srv := serve.NewServer(reg, opts)
@@ -164,19 +167,36 @@ type selftestConfig struct {
 // BenchServe is the BENCH_serve.json document: the load configuration, the
 // latency/throughput report, and the registry's per-key evidence that cold
 // starts coalesced. Schema 2 added trace-echo accounting and the
-// sample-trace handle to the embedded LoadReport.
+// sample-trace handle to the embedded LoadReport; schema 3 added the
+// Resources section (allocation and GC cost of the load run) so `obs diff`
+// can gate resource regressions alongside latency ones.
 type BenchServe struct {
-	SchemaVersion int               `json:"schema_version"`
-	GeneratedAt   string            `json:"generated_at"`
-	Seed          int64             `json:"seed"`
-	Scale         float64           `json:"scale"`
-	Faults        string            `json:"faults,omitempty"`
-	Keys          []string          `json:"keys"`
-	MaxBatch      int               `json:"max_batch"`
-	MaxAdapters   int               `json:"max_adapters"`
-	BatchWaitS    float64           `json:"batch_wait_s"`
-	Report        *serve.LoadReport `json:"report"`
-	Adapters      []serve.KeyStats  `json:"adapters"`
+	SchemaVersion int                  `json:"schema_version"`
+	GeneratedAt   string               `json:"generated_at"`
+	Seed          int64                `json:"seed"`
+	Scale         float64              `json:"scale"`
+	Faults        string               `json:"faults,omitempty"`
+	Keys          []string             `json:"keys"`
+	MaxBatch      int                  `json:"max_batch"`
+	MaxAdapters   int                  `json:"max_adapters"`
+	BatchWaitS    float64              `json:"batch_wait_s"`
+	Report        *serve.LoadReport    `json:"report"`
+	Resources     *BenchServeResources `json:"resources,omitempty"`
+	Adapters      []serve.KeyStats     `json:"adapters"`
+}
+
+// BenchServeResources is the selftest's resource accounting: runtime
+// deltas measured across the load run (reference building excluded), with
+// the per-op normalizations the perf sentinel gates.
+type BenchServeResources struct {
+	AllocBytesTotal   uint64  `json:"alloc_bytes_total"`
+	AllocObjectsTotal uint64  `json:"alloc_objects_total"`
+	BytesPerOp        float64 `json:"bytes_per_op"`
+	AllocsPerOp       float64 `json:"allocs_per_op"`
+	GCCycles          uint64  `json:"gc_cycles"`
+	GCPauseTotalUS    float64 `json:"gc_pause_total_us"`
+	GoroutinesEnd     int64   `json:"goroutines_end"`
+	HeapLiveEndBytes  uint64  `json:"heap_live_end_bytes"`
 }
 
 // runServeSelftest is the acceptance gate behind `knowtrans serve -selftest`:
@@ -229,19 +249,39 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 	fmt.Printf("selftest: %d requests, %d concurrent, %d adapters via %s\n",
 		len(items), cfg.concurrency, len(keys), baseURL)
 
+	// Resource accounting brackets the load run only: reference-adapter
+	// building above is excluded, so bytes/op reflects serving cost.
+	statsBefore := profile.ReadStats()
 	rep, err := serve.RunLoad(context.Background(), baseURL, items, serve.LoadOptions{
 		Concurrency: cfg.concurrency,
 		TraceSeed:   cfg.seed,
 	})
+	statsAfter := profile.ReadStats()
 	if err != nil {
 		return fmt.Errorf("selftest: load run: %w", err)
 	}
 	snap := reg.Snapshot()
+	rd := statsAfter.Delta(statsBefore)
+	res := &BenchServeResources{
+		AllocBytesTotal:   rd.AllocBytes,
+		AllocObjectsTotal: rd.AllocObjects,
+		GCCycles:          rd.GCCycles,
+		GCPauseTotalUS:    rd.GCPauseUS,
+		GoroutinesEnd:     statsAfter.Goroutines,
+		HeapLiveEndBytes:  statsAfter.HeapLiveBytes,
+	}
+	if rep.Requests > 0 {
+		res.BytesPerOp = float64(rd.AllocBytes) / float64(rep.Requests)
+		res.AllocsPerOp = float64(rd.AllocObjects) / float64(rep.Requests)
+	}
 
 	fmt.Printf("selftest: %d requests in %.2fs — %.0f req/s, p50 %.1fms p95 %.1fms p99 %.1fms\n",
 		rep.Requests, rep.WallS, rep.RPS, rep.P50us/1e3, rep.P95us/1e3, rep.P99us/1e3)
 	fmt.Printf("selftest: %d non-2xx, %d mismatches, %d cold hits, %d trace-echo misses\n",
 		rep.Non2xx, rep.Mismatches, rep.ColdHits, rep.TraceEchoMisses)
+	fmt.Printf("selftest: resources: %.0f B/op, %.1f allocs/op, %d gc cycles (%.1fms pause), %d goroutines, heap %.1fMB\n",
+		res.BytesPerOp, res.AllocsPerOp, res.GCCycles, res.GCPauseTotalUS/1e3,
+		res.GoroutinesEnd, float64(res.HeapLiveEndBytes)/(1<<20))
 	if rep.SampleTrace != "" {
 		fmt.Printf("selftest: slowest request trace %s (inspect: knowtrans obs trace FILE.jsonl -trace-id %s)\n",
 			rep.SampleTrace, rep.SampleTrace)
@@ -253,7 +293,7 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 
 	if cfg.benchPath != "" {
 		doc := &BenchServe{
-			SchemaVersion: 2,
+			SchemaVersion: 3,
 			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 			Seed:          cfg.seed,
 			Scale:         cfg.scale,
@@ -263,6 +303,7 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 			MaxAdapters:   cfg.opts.MaxAdapters,
 			BatchWaitS:    cfg.opts.MaxWait.Seconds(),
 			Report:        rep,
+			Resources:     res,
 			Adapters:      snap,
 		}
 		blob, err := json.MarshalIndent(doc, "", "  ")

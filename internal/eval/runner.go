@@ -1,12 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 // cellJob is one independent unit of experiment work — typically a
@@ -49,7 +51,11 @@ func runCells[T any](z *Zoo, jobs []cellJob[T]) []T {
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
-			out[i] = j.Run(z.Rec)
+			// Same pprof cell label as the parallel path below, so serial
+			// profiles segment by cell too.
+			profile.Do(context.Background(), func(context.Context) {
+				out[i] = j.Run(z.Rec)
+			}, profile.LabelCell, j.Label)
 		}
 		return out
 	}
@@ -82,7 +88,12 @@ func runCells[T any](z *Zoo, jobs []cellJob[T]) []T {
 				z.Rec.ObserveSince("eval.cell_queue_us", start)
 				crec, cspan := wrec.StartSpan("eval.cell")
 				cspan.SetAttr("cell", jobs[i].Label)
-				out[i] = jobs[i].Run(crec)
+				// The cell runs under a pprof label so CPU profiles of a
+				// parallel table build attribute samples to the (dataset ×
+				// method) cell that burned them.
+				profile.Do(context.Background(), func(context.Context) {
+					out[i] = jobs[i].Run(crec)
+				}, profile.LabelCell, jobs[i].Label)
 				cspan.End()
 			}
 		}()

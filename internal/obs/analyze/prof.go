@@ -1,0 +1,392 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs/profile"
+)
+
+// Resource-timeline analysis: the consumption side of the runtime sampler
+// (internal/obs/profile). LoadTimeline reads the JSONL resource record a
+// sampled run leaves behind; NewProfReport summarizes it (heap growth
+// slope, GC pauses, goroutine-leak detection, alloc rates per window);
+// DiffProf gates one run's report against a baseline's under budgets —
+// the perf-regression sentinel `knowtrans obs prof -diff` exposes.
+
+// LoadTimeline reads one runtime-metrics timeline file.
+func LoadTimeline(path string) ([]profile.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	defer f.Close()
+	rows, err := profile.ReadTimeline(f)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("analyze: %s: empty timeline", path)
+	}
+	return rows, nil
+}
+
+// ProfWindow summarizes one of the report's equal-duration windows; the
+// windowed view is what monotonic-growth (leak) detection reads.
+type ProfWindow struct {
+	StartMS       int64   `json:"start_ms"`
+	EndMS         int64   `json:"end_ms"`
+	Samples       int     `json:"samples"`
+	GoroutineMin  int64   `json:"goroutine_min"`
+	GoroutineMax  int64   `json:"goroutine_max"`
+	HeapMinBytes  uint64  `json:"heap_min_bytes"`
+	HeapMaxBytes  uint64  `json:"heap_max_bytes"`
+	AllocRateBPS  float64 `json:"alloc_rate_bps"`
+	GCCyclesDelta uint64  `json:"gc_cycles_delta"`
+}
+
+// ProfReport is the summary of one runtime timeline.
+type ProfReport struct {
+	Samples   int     `json:"samples"`
+	DurationS float64 `json:"duration_s"`
+
+	HeapStartBytes uint64 `json:"heap_start_bytes"`
+	HeapEndBytes   uint64 `json:"heap_end_bytes"`
+	HeapMaxBytes   uint64 `json:"heap_max_bytes"`
+	// HeapSlopeBPS is the least-squares slope of live heap bytes over
+	// time: the headline "is this process growing" number.
+	HeapSlopeBPS float64 `json:"heap_slope_bps"`
+	// HeapGrowth flags monotonic per-window growth of the heap floor —
+	// every window's minimum live heap above the previous window's, with
+	// total growth beyond noise. The shape of a leak, as opposed to a
+	// sawtooth that the slope of a short capture can misread.
+	HeapGrowth bool `json:"heap_growth"`
+
+	GoroutineStart int64 `json:"goroutine_start"`
+	GoroutineEnd   int64 `json:"goroutine_end"`
+	GoroutineMax   int64 `json:"goroutine_max"`
+	// GoroutineLeak flags monotonic per-window growth of the goroutine
+	// floor: the count's minimum rises window over window, which steady
+	// traffic does not do but an accumulating leak must.
+	GoroutineLeak bool `json:"goroutine_leak"`
+
+	AllocTotalBytes uint64  `json:"alloc_total_bytes"`
+	AllocRateBPS    float64 `json:"alloc_rate_bps"`
+	GCCycles        uint64  `json:"gc_cycles"`
+	GCPauseP50US    float64 `json:"gc_pause_p50_us"`
+	GCPauseP95US    float64 `json:"gc_pause_p95_us"`
+	SchedLatP95US   float64 `json:"sched_lat_p95_us"`
+
+	Windows []ProfWindow `json:"windows,omitempty"`
+}
+
+// NewProfReport summarizes a timeline over the given number of analysis
+// windows (default 4; clamped so every window holds at least two
+// samples when possible).
+func NewProfReport(rows []profile.Sample, windows int) *ProfReport {
+	r := &ProfReport{Samples: len(rows)}
+	if len(rows) == 0 {
+		return r
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	r.DurationS = float64(last.TMS-first.TMS) / 1e3
+	r.HeapStartBytes = first.HeapLiveBytes
+	r.HeapEndBytes = last.HeapLiveBytes
+	r.GoroutineStart = first.Goroutines
+	r.GoroutineEnd = last.Goroutines
+	r.GCCycles = last.GCCycles - first.GCCycles
+	r.GCPauseP50US = last.GCPauseP50US
+	r.GCPauseP95US = last.GCPauseP95US
+	r.SchedLatP95US = last.SchedLatP95US
+	r.AllocTotalBytes = last.TotalAllocBytes - first.TotalAllocBytes
+	if r.DurationS > 0 {
+		r.AllocRateBPS = float64(r.AllocTotalBytes) / r.DurationS
+	}
+	for _, s := range rows {
+		if s.HeapLiveBytes > r.HeapMaxBytes {
+			r.HeapMaxBytes = s.HeapLiveBytes
+		}
+		if s.Goroutines > r.GoroutineMax {
+			r.GoroutineMax = s.Goroutines
+		}
+	}
+	r.HeapSlopeBPS = heapSlope(rows)
+	r.Windows = profWindows(rows, windows)
+	r.GoroutineLeak = monotonicWindows(r.Windows,
+		func(w ProfWindow) float64 { return float64(w.GoroutineMin) },
+		func(w ProfWindow) float64 { return float64(w.GoroutineMax) }, 8, 0.10)
+	r.HeapGrowth = monotonicWindows(r.Windows,
+		func(w ProfWindow) float64 { return float64(w.HeapMinBytes) },
+		func(w ProfWindow) float64 { return float64(w.HeapMaxBytes) }, 1<<20, 0.10)
+	return r
+}
+
+// heapSlope fits live-heap bytes against time by least squares and
+// returns bytes/second (0 for degenerate timelines).
+func heapSlope(rows []profile.Sample) float64 {
+	if len(rows) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(rows))
+	for _, s := range rows {
+		x := float64(s.TMS) / 1e3
+		y := float64(s.HeapLiveBytes)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// profWindows splits the timeline into up to n equal-duration windows.
+func profWindows(rows []profile.Sample, n int) []ProfWindow {
+	if n <= 0 {
+		n = 4
+	}
+	for n > 1 && len(rows)/n < 2 {
+		n--
+	}
+	span := rows[len(rows)-1].TMS - rows[0].TMS
+	if span <= 0 {
+		n = 1
+	}
+	out := make([]ProfWindow, 0, n)
+	width := span/int64(n) + 1
+	i := 0
+	for w := 0; w < n && i < len(rows); w++ {
+		lo := rows[0].TMS + int64(w)*width
+		hi := lo + width
+		win := ProfWindow{StartMS: lo, EndMS: hi}
+		firstIdx := i
+		for ; i < len(rows) && (rows[i].TMS < hi || w == n-1); i++ {
+			s := rows[i]
+			if win.Samples == 0 || s.Goroutines < win.GoroutineMin {
+				win.GoroutineMin = s.Goroutines
+			}
+			if s.Goroutines > win.GoroutineMax {
+				win.GoroutineMax = s.Goroutines
+			}
+			if win.Samples == 0 || s.HeapLiveBytes < win.HeapMinBytes {
+				win.HeapMinBytes = s.HeapLiveBytes
+			}
+			if s.HeapLiveBytes > win.HeapMaxBytes {
+				win.HeapMaxBytes = s.HeapLiveBytes
+			}
+			win.Samples++
+		}
+		if win.Samples == 0 {
+			continue
+		}
+		firstS, lastS := rows[firstIdx], rows[i-1]
+		win.GCCyclesDelta = lastS.GCCycles - firstS.GCCycles
+		if dt := float64(lastS.TMS-firstS.TMS) / 1e3; dt > 0 {
+			win.AllocRateBPS = float64(lastS.TotalAllocBytes-firstS.TotalAllocBytes) / dt
+		}
+		out = append(out, win)
+	}
+	return out
+}
+
+// monotonicWindows reports whether a metric's per-window floor AND
+// ceiling both rise strictly across every consecutive window pair, with
+// the total floor rise clearing an absolute slack and a relative
+// fraction of the starting value — the monotonic-growth shape of a
+// leak, with noise guards. Requiring the ceiling too is what separates
+// a leak from a warmup phase: building retained state raises floors
+// until retention plateaus, but its ceilings subside once the transient
+// build garbage is collected, while a leak lifts both forever.
+func monotonicWindows(ws []ProfWindow, lo, hi func(ProfWindow) float64, absSlack, relSlack float64) bool {
+	if len(ws) < 3 {
+		return false
+	}
+	for i := 1; i < len(ws); i++ {
+		if lo(ws[i]) <= lo(ws[i-1]) || hi(ws[i]) <= hi(ws[i-1]) {
+			return false
+		}
+	}
+	first, last := lo(ws[0]), lo(ws[len(ws)-1])
+	growth := last - first
+	return growth > absSlack && (first == 0 || growth/first > relSlack)
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *ProfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// WriteText renders the report for operators.
+func (r *ProfReport) WriteText(w io.Writer) error {
+	var out []byte
+	add := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)...) }
+	add("runtime timeline: %d samples over %.2fs\n", r.Samples, r.DurationS)
+	add("heap live: start %s, end %s, max %s, slope %s/s\n",
+		fmtBytes(float64(r.HeapStartBytes)), fmtBytes(float64(r.HeapEndBytes)),
+		fmtBytes(float64(r.HeapMaxBytes)), fmtBytes(r.HeapSlopeBPS))
+	add("goroutines: start %d, end %d, max %d\n", r.GoroutineStart, r.GoroutineEnd, r.GoroutineMax)
+	add("alloc: %s total, %s/s\n", fmtBytes(float64(r.AllocTotalBytes)), fmtBytes(r.AllocRateBPS))
+	add("gc: %d cycles, pause p50 %s p95 %s; sched latency p95 %s\n",
+		r.GCCycles, fmtUSf(r.GCPauseP50US), fmtUSf(r.GCPauseP95US), fmtUSf(r.SchedLatP95US))
+	if r.GoroutineLeak {
+		add("WARNING: goroutine leak suspected — per-window goroutine floor grows monotonically\n")
+	}
+	if r.HeapGrowth {
+		add("WARNING: unbounded heap growth suspected — per-window heap floor grows monotonically\n")
+	}
+	if len(r.Windows) > 1 {
+		add("windows:\n")
+		for i, win := range r.Windows {
+			add("  [%d] %5.1fs-%5.1fs  goroutines %d-%d  heap %s-%s  alloc %s/s  gc +%d\n",
+				i, float64(win.StartMS)/1e3, float64(win.EndMS)/1e3,
+				win.GoroutineMin, win.GoroutineMax,
+				fmtBytes(float64(win.HeapMinBytes)), fmtBytes(float64(win.HeapMaxBytes)),
+				fmtBytes(win.AllocRateBPS), win.GCCyclesDelta)
+		}
+	}
+	// Gate verdict summary, mirrored by the -gate exit code.
+	if r.Unhealthy() {
+		add("verdict: UNHEALTHY\n")
+	} else {
+		add("verdict: ok\n")
+	}
+	_, err := w.Write(out)
+	return err
+}
+
+// Unhealthy reports whether the standalone gate (-gate) should fail: a
+// suspected goroutine leak or unbounded heap growth.
+func (r *ProfReport) Unhealthy() bool { return r.GoroutineLeak || r.HeapGrowth }
+
+// ProfBudget tunes DiffProf's regression thresholds. A metric regresses
+// when candidate > baseline*(1+RelTol) + slack; the absolute slacks keep
+// tiny baselines (an idle 2MB heap, 20 goroutines) from flagging noise.
+type ProfBudget struct {
+	RelTol          float64 `json:"rel_tol"`
+	GoroutineSlack  float64 `json:"goroutine_slack"`
+	HeapSlackBytes  float64 `json:"heap_slack_bytes"`
+	AllocSlackBPS   float64 `json:"alloc_slack_bps"`
+	GCPauseSlackUS  float64 `json:"gc_pause_slack_us"`
+	GCCyclesSlack   float64 `json:"gc_cycles_slack"`
+	SchedLatSlackUS float64 `json:"sched_lat_slack_us"`
+}
+
+// DefaultProfBudget is the stock sentinel configuration: 25% relative
+// headroom plus small absolute slacks.
+func DefaultProfBudget() ProfBudget {
+	return ProfBudget{
+		RelTol:          0.25,
+		GoroutineSlack:  16,
+		HeapSlackBytes:  16 << 20,
+		AllocSlackBPS:   16 << 20,
+		GCPauseSlackUS:  2000,
+		GCCyclesSlack:   8,
+		SchedLatSlackUS: 2000,
+	}
+}
+
+// ProfDelta is one gated metric's comparison.
+type ProfDelta struct {
+	Metric    string  `json:"metric"`
+	A         float64 `json:"a"`
+	B         float64 `json:"b"`
+	Rel       float64 `json:"rel"`
+	Budget    float64 `json:"budget"` // the threshold B had to stay under
+	Regressed bool    `json:"regressed"`
+}
+
+// ProfDiff compares a candidate timeline report against a baseline's.
+type ProfDiff struct {
+	Deltas      []ProfDelta `json:"deltas"`
+	Regressions int         `json:"regressions"`
+	// LeakAppeared flags a leak/growth verdict present in the candidate
+	// but not the baseline — always a regression regardless of budgets.
+	LeakAppeared bool `json:"leak_appeared,omitempty"`
+}
+
+// HasRegressions reports whether the diff should fail a gate.
+func (d *ProfDiff) HasRegressions() bool { return d.Regressions > 0 }
+
+// DiffProf gates candidate b against baseline a. All gated metrics are
+// lower-is-better resource costs; improvements never gate.
+func DiffProf(a, b *ProfReport, bud ProfBudget) *ProfDiff {
+	d := &ProfDiff{}
+	check := func(metric string, av, bv, slack float64) {
+		budget := av*(1+bud.RelTol) + slack
+		pd := ProfDelta{Metric: metric, A: av, B: bv, Budget: budget, Regressed: bv > budget}
+		if av != 0 {
+			pd.Rel = (bv - av) / av
+		}
+		if pd.Regressed {
+			d.Regressions++
+		}
+		d.Deltas = append(d.Deltas, pd)
+	}
+	check("goroutine_max", float64(a.GoroutineMax), float64(b.GoroutineMax), bud.GoroutineSlack)
+	check("goroutine_end", float64(a.GoroutineEnd), float64(b.GoroutineEnd), bud.GoroutineSlack)
+	check("heap_max_bytes", float64(a.HeapMaxBytes), float64(b.HeapMaxBytes), bud.HeapSlackBytes)
+	check("heap_end_bytes", float64(a.HeapEndBytes), float64(b.HeapEndBytes), bud.HeapSlackBytes)
+	check("alloc_rate_bps", a.AllocRateBPS, b.AllocRateBPS, bud.AllocSlackBPS)
+	check("gc_pause_p95_us", a.GCPauseP95US, b.GCPauseP95US, bud.GCPauseSlackUS)
+	check("gc_cycles", float64(a.GCCycles), float64(b.GCCycles), bud.GCCyclesSlack)
+	check("sched_lat_p95_us", a.SchedLatP95US, b.SchedLatP95US, bud.SchedLatSlackUS)
+	if (b.GoroutineLeak && !a.GoroutineLeak) || (b.HeapGrowth && !a.HeapGrowth) {
+		d.LeakAppeared = true
+		d.Regressions++
+	}
+	return d
+}
+
+// WriteJSON emits the diff as indented JSON.
+func (d *ProfDiff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteText renders the diff as an aligned table plus a verdict line.
+func (d *ProfDiff) WriteText(w io.Writer) error {
+	rows := [][]string{{"METRIC", "BASELINE", "CANDIDATE", "REL", "BUDGET", "VERDICT"}}
+	for _, md := range d.Deltas {
+		verdict := "ok"
+		if md.Regressed {
+			verdict = "REGRESSED"
+		}
+		rows = append(rows, []string{
+			md.Metric,
+			fmt.Sprintf("%.4g", md.A), fmt.Sprintf("%.4g", md.B),
+			fmt.Sprintf("%+.1f%%", 100*md.Rel), fmt.Sprintf("%.4g", md.Budget),
+			verdict,
+		})
+	}
+	var sb strings.Builder
+	writeAligned(&sb, rows)
+	if d.LeakAppeared {
+		sb.WriteString("leak verdict: candidate flags a goroutine/heap leak the baseline did not\n")
+	}
+	fmt.Fprintf(&sb, "%d regressed of %d gated metrics\n", d.Regressions, len(d.Deltas))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,104 @@
+package profile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestWriteHeapAndCaptureCPU(t *testing.T) {
+	var heap bytes.Buffer
+	if err := WriteHeap(&heap); err != nil {
+		t.Fatalf("WriteHeap: %v", err)
+	}
+	if heap.Len() == 0 {
+		t.Fatal("empty heap profile")
+	}
+	var cpu bytes.Buffer
+	if err := CaptureCPU(&cpu, 10*time.Millisecond); err != nil {
+		t.Fatalf("CaptureCPU: %v", err)
+	}
+	if cpu.Len() == 0 {
+		t.Fatal("empty cpu profile")
+	}
+}
+
+func TestTriggerCapturesOnceWithCooldown(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	tr := &Trigger{
+		Dir:         dir,
+		CPUDuration: 5 * time.Millisecond,
+		Cooldown:    time.Hour,
+		Rec:         obs.NewRecorder(reg, nil),
+	}
+	if !tr.Capture("predict") {
+		t.Fatal("first capture refused")
+	}
+	// Cooldown: immediate retriggers are refused without blocking.
+	if tr.Capture("predict") {
+		t.Error("capture inside cooldown accepted")
+	}
+	// Wait for the async capture to land.
+	deadline := time.Now().Add(2 * time.Second)
+	var files []string
+	for time.Now().Before(deadline) {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = files[:0]
+		for _, e := range ents {
+			files = append(files, e.Name())
+		}
+		if reg.Counter("profile.captures").Value() > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Counter("profile.captures").Value() != 1 {
+		t.Fatalf("captures counter = %d (errors %d), files %v",
+			reg.Counter("profile.captures").Value(),
+			reg.Counter("profile.capture_errors").Value(), files)
+	}
+	var haveHeap, haveCPU bool
+	for _, f := range files {
+		full := filepath.Join(dir, f)
+		fi, err := os.Stat(full)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("capture file %s missing or empty", f)
+		}
+		if len(f) > 4 && f[:4] == "heap" {
+			haveHeap = true
+		}
+		if len(f) > 3 && f[:3] == "cpu" {
+			haveCPU = true
+		}
+	}
+	if !haveHeap || !haveCPU {
+		t.Errorf("capture files = %v, want heap-* and cpu-*", files)
+	}
+}
+
+func TestTriggerNilAndUnconfigured(t *testing.T) {
+	var tr *Trigger
+	if tr.Capture("x") {
+		t.Error("nil trigger captured")
+	}
+	if (&Trigger{}).Capture("x") {
+		t.Error("dirless trigger captured")
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	if got := sanitizeReason("EM/Walmart-Amazon"); got != "EM_Walmart-Amazon" {
+		t.Errorf("sanitizeReason = %q", got)
+	}
+	if got := sanitizeReason(""); got != "manual" {
+		t.Errorf("empty reason = %q", got)
+	}
+}

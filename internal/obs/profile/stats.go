@@ -1,0 +1,203 @@
+package profile
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtime/metrics names the package reads. All of them have been stable
+// since Go 1.17, so there is no per-version probing: a missing metric
+// reads as KindBad and is reported as zero.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapLive   = "/memory/classes/heap/objects:bytes"
+	rmHeapObjs   = "/gc/heap/objects:objects"
+	rmAllocBytes = "/gc/heap/allocs:bytes"
+	rmAllocObjs  = "/gc/heap/allocs:objects"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/gc/pauses:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// Stats is one point-in-time reading of the process's resource state.
+// Total* fields are cumulative since process start, so rates come from
+// deltas between two readings (Delta). Pause and latency quantiles are
+// over the cumulative runtime-maintained distributions.
+type Stats struct {
+	Goroutines        int64
+	HeapLiveBytes     uint64
+	HeapObjects       uint64
+	TotalAllocBytes   uint64
+	TotalAllocObjects uint64
+	GCCycles          uint64
+	GCPauseTotalUS    float64 // approximate: Σ bucket-count × bucket midpoint
+	GCPauseP50US      float64
+	GCPauseP95US      float64
+	SchedLatP50US     float64
+	SchedLatP95US     float64
+
+	// gcPauseCounts keeps the raw cumulative pause bucket counts so a
+	// Sampler can feed per-interval pause observations into an obs
+	// histogram; buckets are the shared boundary slice.
+	gcPauseCounts []uint64
+	gcPauseBounds []float64
+}
+
+// ReadStats takes one reading of every metric the package tracks. It is
+// cheap (one metrics.Read over a fixed sample set) and safe to call from
+// any goroutine.
+func ReadStats() Stats {
+	samples := []metrics.Sample{
+		{Name: rmGoroutines},
+		{Name: rmHeapLive},
+		{Name: rmHeapObjs},
+		{Name: rmAllocBytes},
+		{Name: rmAllocObjs},
+		{Name: rmGCCycles},
+		{Name: rmGCPauses},
+		{Name: rmSchedLat},
+	}
+	metrics.Read(samples)
+	var st Stats
+	st.Goroutines = int64(sampleUint64(&samples[0]))
+	st.HeapLiveBytes = sampleUint64(&samples[1])
+	st.HeapObjects = sampleUint64(&samples[2])
+	st.TotalAllocBytes = sampleUint64(&samples[3])
+	st.TotalAllocObjects = sampleUint64(&samples[4])
+	st.GCCycles = sampleUint64(&samples[5])
+	if h := sampleHist(&samples[6]); h != nil {
+		st.GCPauseTotalUS = histSumSeconds(h) * 1e6
+		st.GCPauseP50US = histQuantileSeconds(h, 0.50) * 1e6
+		st.GCPauseP95US = histQuantileSeconds(h, 0.95) * 1e6
+		st.gcPauseCounts = append([]uint64(nil), h.Counts...)
+		st.gcPauseBounds = h.Buckets
+	}
+	if h := sampleHist(&samples[7]); h != nil {
+		st.SchedLatP50US = histQuantileSeconds(h, 0.50) * 1e6
+		st.SchedLatP95US = histQuantileSeconds(h, 0.95) * 1e6
+	}
+	return st
+}
+
+// QuickReadings returns just the goroutine count and live heap bytes —
+// the two numbers /healthz reports on every scrape, read without the
+// histogram decoding cost of a full ReadStats.
+func QuickReadings() (goroutines int64, heapLiveBytes uint64) {
+	samples := []metrics.Sample{{Name: rmGoroutines}, {Name: rmHeapLive}}
+	metrics.Read(samples)
+	return int64(sampleUint64(&samples[0])), sampleUint64(&samples[1])
+}
+
+func sampleUint64(s *metrics.Sample) uint64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s.Value.Uint64()
+}
+
+func sampleHist(s *metrics.Sample) *metrics.Float64Histogram {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s.Value.Float64Histogram()
+}
+
+// bucketMid returns a finite representative value for bucket i of a
+// runtime histogram (Counts[i] covers [Buckets[i], Buckets[i+1])). The
+// outermost buckets may be unbounded; they are clamped to their finite
+// edge.
+func bucketMid(buckets []float64, i int) float64 {
+	lo, hi := buckets[i], buckets[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, +1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, +1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+// histSumSeconds approximates the distribution's total as Σ count × bucket
+// midpoint — exact enough for "total GC pause milliseconds" reporting,
+// which only needs to be stable across runs, not nanosecond-true.
+func histSumSeconds(h *metrics.Float64Histogram) float64 {
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		sum += float64(c) * bucketMid(h.Buckets, i)
+	}
+	return sum
+}
+
+// histQuantileSeconds estimates the q-quantile of a runtime histogram by
+// linear interpolation within the crossing bucket.
+func histQuantileSeconds(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		n := float64(c)
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) {
+				lo = 0
+			}
+			if math.IsInf(hi, +1) {
+				hi = lo
+			}
+			frac := (rank - cum) / n
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return bucketMid(h.Buckets, len(h.Counts)-1)
+}
+
+// Delta returns the cumulative-counter movement from prev to st. Callers
+// divide by an op count or a duration to get per-op or per-second rates.
+type StatsDelta struct {
+	AllocBytes   uint64
+	AllocObjects uint64
+	GCCycles     uint64
+	GCPauseUS    float64
+}
+
+// Delta computes st - prev over the cumulative fields, clamping at zero
+// (a counter can only appear to shrink across a process restart, which
+// two readings from one process never see).
+func (st Stats) Delta(prev Stats) StatsDelta {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	d := StatsDelta{
+		AllocBytes:   sub(st.TotalAllocBytes, prev.TotalAllocBytes),
+		AllocObjects: sub(st.TotalAllocObjects, prev.TotalAllocObjects),
+		GCCycles:     sub(st.GCCycles, prev.GCCycles),
+	}
+	if st.GCPauseTotalUS > prev.GCPauseTotalUS {
+		d.GCPauseUS = st.GCPauseTotalUS - prev.GCPauseTotalUS
+	}
+	return d
+}

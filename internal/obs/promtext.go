@@ -69,11 +69,35 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// promHelp carries HELP text for well-known metric families (keyed by the
+// exposition family name, after promName mapping). Families without an
+// entry render with a TYPE line only — HELP is optional under the text
+// format grammar.
+var promHelp = map[string]string{
+	"runtime_goroutines":        "Live goroutine count sampled from runtime/metrics.",
+	"runtime_heap_live_bytes":   "Live heap bytes (reachable plus unswept) at the last runtime sample.",
+	"runtime_heap_objects":      "Live heap object count at the last runtime sample.",
+	"runtime_gc_cycles":         "Completed GC cycles since process start.",
+	"runtime_gc_pause_p50_us":   "Median stop-the-world GC pause, microseconds, cumulative distribution.",
+	"runtime_gc_pause_p95_us":   "95th-percentile stop-the-world GC pause, microseconds, cumulative distribution.",
+	"runtime_gc_pause_us":       "Stop-the-world GC pauses observed between runtime samples, microseconds.",
+	"runtime_sched_lat_p50_us":  "Median goroutine scheduling latency, microseconds, cumulative distribution.",
+	"runtime_sched_lat_p95_us":  "95th-percentile goroutine scheduling latency, microseconds, cumulative distribution.",
+	"runtime_alloc_bytes_total": "Heap bytes allocated since sampling started.",
+	"runtime_samples":           "Runtime samples taken by the profiler sampler.",
+	"profile_captures":          "Triggered CPU/heap profile captures completed.",
+	"profile_capture_errors":    "Triggered profile captures that failed.",
+	"serve_requests":            "HTTP requests served.",
+	"serve_request_us":          "HTTP request latency, microseconds.",
+	"serve_inflight":            "Requests currently in flight.",
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format: counters and gauges as single samples, histograms as cumulative
 // le buckets plus _sum and _count. Families are emitted in sorted order and
-// each family's TYPE line appears exactly once, so the output parses under
-// the text-format grammar regardless of how names interleave.
+// each family's HELP line (for known families) and TYPE line appear exactly
+// once, so the output parses under the text-format grammar regardless of
+// how names interleave.
 func WritePrometheus(w io.Writer, s RegistrySnapshot) error {
 	// One entry per registry metric: its sample lines stay contiguous and in
 	// emission order (histogram buckets must remain ascending), while
@@ -123,6 +147,11 @@ func WritePrometheus(w io.Writer, s RegistrySnapshot) error {
 	}
 	sort.Strings(names)
 	for _, fam := range names {
+		if help, ok := promHelp[fam]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, help); err != nil {
+				return err
+			}
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, families[fam]); err != nil {
 			return err
 		}

@@ -322,3 +322,125 @@ func TestPrometheusLabelEscaping(t *testing.T) {
 		t.Errorf("escaped label round-trip = %q", got)
 	}
 }
+
+// TestPrometheusRuntimeMetrics renders the families the runtime sampler
+// feeds (hand-fed here; the sampler's own tests cover the feeding) and
+// checks the exposition: family names, HELP before TYPE for known
+// families, and gauge/histogram shape.
+func TestPrometheusRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	// Mirror of the profile package's metric names (it imports obs, so the
+	// literals are repeated here rather than imported).
+	reg.Gauge("runtime.goroutines").Set(42)
+	reg.Gauge("runtime.heap_live_bytes").Set(8 << 20)
+	reg.Gauge("runtime.heap_objects").Set(10000)
+	reg.Gauge("runtime.gc_pause_p95_us").Set(250)
+	reg.Counter("runtime.alloc_bytes_total").Add(1 << 20)
+	h := reg.Histogram("runtime.gc_pause_us", []float64{10, 100, 1000, 10000})
+	for _, v := range []float64{30, 300, 250} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	doc := parseProm(t, text)
+
+	wantTypes := map[string]string{
+		"runtime_goroutines":        "gauge",
+		"runtime_heap_live_bytes":   "gauge",
+		"runtime_heap_objects":      "gauge",
+		"runtime_gc_pause_p95_us":   "gauge",
+		"runtime_alloc_bytes_total": "counter",
+		"runtime_gc_pause_us":       "histogram",
+	}
+	for fam, typ := range wantTypes {
+		if doc.types[fam] != typ {
+			t.Errorf("family %s type = %q, want %q", fam, doc.types[fam], typ)
+		}
+	}
+	find := func(name string) (float64, bool) {
+		for _, s := range doc.samples {
+			if s.name == name && s.labels["le"] == "" {
+				return s.value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := find("runtime_goroutines"); !ok || v != 42 {
+		t.Errorf("runtime_goroutines = %g, %v", v, ok)
+	}
+	if v, ok := find("runtime_gc_pause_us_count"); !ok || v != 3 {
+		t.Errorf("runtime_gc_pause_us_count = %g, %v", v, ok)
+	}
+}
+
+// TestPrometheusHelpLines checks HELP rendering: known families get one
+// HELP line immediately preceding their TYPE line; unknown families get
+// TYPE only.
+func TestPrometheusHelpLines(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("runtime.goroutines").Set(1)
+	reg.Counter("serve.requests").Add(2)
+	reg.Counter("custom.unknown_family").Add(3)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	helpFor := map[string]int{}
+	typeFor := map[string]int{}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && fields[0] == "#" {
+			switch fields[1] {
+			case "HELP":
+				if _, dup := helpFor[fields[2]]; dup {
+					t.Errorf("duplicate HELP for %s", fields[2])
+				}
+				helpFor[fields[2]] = i
+			case "TYPE":
+				typeFor[fields[2]] = i
+			}
+		}
+	}
+	for _, fam := range []string{"runtime_goroutines", "serve_requests"} {
+		hi, ok := helpFor[fam]
+		if !ok {
+			t.Errorf("no HELP line for %s", fam)
+			continue
+		}
+		if ti := typeFor[fam]; ti != hi+1 {
+			t.Errorf("%s: HELP at line %d not immediately before TYPE at %d", fam, hi, ti)
+		}
+	}
+	if _, ok := helpFor["custom_unknown_family"]; ok {
+		t.Error("unknown family got a HELP line")
+	}
+	// The parser accepts the full document (HELP comments don't break it).
+	parseProm(t, buf.String())
+}
+
+// TestPrometheusOmitsExemplars pins that exemplars recorded on histograms
+// stay out of the 0.0.4 text exposition — they are OpenMetrics syntax and
+// would break 0.0.4 parsers.
+func TestPrometheusOmitsExemplars(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, nil)
+	rec.ObserveEx("runtime.gc_pause_us", 123, []float64{10, 100, 1000}, "deadbeefdeadbeefdeadbeefdeadbeef")
+	snap := reg.Snapshot()
+	if len(snap.Histograms["runtime.gc_pause_us"].Exemplars) == 0 {
+		t.Fatal("exemplar was not recorded in the snapshot")
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if strings.Contains(text, "deadbeef") || strings.Contains(text, "# {") {
+		t.Errorf("exemplar leaked into text exposition:\n%s", text)
+	}
+	parseProm(t, text)
+}

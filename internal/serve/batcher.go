@@ -2,11 +2,13 @@ package serve
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 // predictReq is one queued prediction: the instance, the requester's
@@ -218,6 +220,7 @@ func (b *batcher) serve(batch []*predictReq) {
 	span.SetAttr("size", len(batch))
 	start := time.Now()
 	b.rec.Observe("serve.batch_size", float64(len(batch)), sizeBounds)
+	batchLabel := strconv.Itoa(len(batch))
 	for _, r := range batch {
 		queueUS := time.Since(r.enq).Microseconds()
 		b.rec.Observe("serve.queue_us", float64(queueUS), nil)
@@ -235,7 +238,14 @@ func (b *batcher) serve(batch []*predictReq) {
 			continue
 		}
 		ps := span.StartChild("serve.predict")
-		ans := b.ad.Predict(r.ctx, r.in)
+		// Predict runs under pprof labels — key and batch size on top of
+		// whatever the request context already carries (route) — so CPU
+		// samples attribute to the adapter that burned them. Labeling the
+		// request's own ctx keeps its cancellation semantics intact.
+		var ans string
+		profile.Do(r.ctx, func(ctx context.Context) {
+			ans = b.ad.Predict(ctx, r.in)
+		}, profile.LabelKey, b.key, profile.LabelBatch, batchLabel)
 		ps.End()
 		r.resp <- predictResp{ans: ans}
 	}

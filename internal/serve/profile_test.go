@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime/pprof"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+	"repro/internal/obs/profile"
+)
+
+func jsonReader(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(raw)
+}
+
+// labelAdapter records the pprof labels visible from inside Predict —
+// what CPU samples taken during the call would be attributed with.
+type labelAdapter struct {
+	mu     sync.Mutex
+	labels map[string]string
+}
+
+func (a *labelAdapter) Predict(ctx context.Context, in *data.Instance) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.labels = map[string]string{}
+	for _, k := range []string{profile.LabelRoute, profile.LabelKey, profile.LabelBatch} {
+		if v, ok := pprof.Label(ctx, k); ok {
+			a.labels[k] = v
+		}
+	}
+	return "ok"
+}
+
+func (a *labelAdapter) seen() map[string]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.labels
+}
+
+// TestPredictCarriesPprofLabels pins the cost-attribution contract: by the
+// time the adapter's Predict runs, the goroutine carries the handler's
+// route label and the batcher's key/batch labels, stacked on one context.
+func TestPredictCarriesPprofLabels(t *testing.T) {
+	ad := &labelAdapter{}
+	reg := NewRegistry(func(_ context.Context, _ string) (Adapter, error) {
+		return ad, nil
+	}, Options{})
+	srv := NewServer(reg, Options{})
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", jsonReader(t, PredictRequest{
+		Adapter:  "EM/Walmart-Amazon",
+		Instance: WireInstance{ID: "1", Candidates: []string{"y", "n"}},
+	}))
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rw.Code, rw.Body.String())
+	}
+	labels := ad.seen()
+	if labels[profile.LabelRoute] != "predict" {
+		t.Errorf("route label = %q, want predict (labels %v)", labels[profile.LabelRoute], labels)
+	}
+	if labels[profile.LabelKey] != "EM/Walmart-Amazon" {
+		t.Errorf("key label = %q (labels %v)", labels[profile.LabelKey], labels)
+	}
+	if labels[profile.LabelBatch] == "" {
+		t.Errorf("batch label missing (labels %v)", labels)
+	}
+}
+
+// TestTransferCarriesPprofLabels pins the cold-start attribution: the
+// Transfer itself runs under key + phase=transfer labels.
+func TestTransferCarriesPprofLabels(t *testing.T) {
+	var key, phase string
+	reg := NewRegistry(func(ctx context.Context, k string) (Adapter, error) {
+		key, _ = pprof.Label(ctx, profile.LabelKey)
+		phase, _ = pprof.Label(ctx, profile.LabelPhase)
+		return &stubAdapter{key: k}, nil
+	}, Options{})
+	if _, err := reg.Warm(context.Background(), "ED/Hospital"); err != nil {
+		t.Fatal(err)
+	}
+	if key != "ED/Hospital" || phase != "transfer" {
+		t.Errorf("transfer labels = key %q phase %q", key, phase)
+	}
+}
+
+// TestHealthzReportsSamplerAndRuntime pins the /healthz satellite: sampler
+// status plus fresh goroutine/heap readings, with and without a sampler.
+func TestHealthzReportsSamplerAndRuntime(t *testing.T) {
+	s := profile.Start(profile.Config{Interval: 2 * time.Millisecond})
+	defer s.Stop()
+	time.Sleep(6 * time.Millisecond)
+
+	for _, tc := range []struct {
+		name    string
+		sampler *profile.Sampler
+		enabled bool
+	}{
+		{"with sampler", s, true},
+		{"without sampler", nil, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Sampler: tc.sampler}
+			reg := NewRegistry(newStubTransferer(0).transfer, opts)
+			srv := NewServer(reg, opts)
+			req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+			rw := httptest.NewRecorder()
+			srv.ServeHTTP(rw, req)
+			var hr HealthResponse
+			if err := json.Unmarshal(rw.Body.Bytes(), &hr); err != nil {
+				t.Fatal(err)
+			}
+			if !hr.OK || hr.Goroutines <= 0 || hr.HeapLiveBytes == 0 {
+				t.Fatalf("healthz runtime readings implausible: %+v", hr)
+			}
+			if hr.Sampler.Enabled != tc.enabled {
+				t.Errorf("sampler.enabled = %v, want %v", hr.Sampler.Enabled, tc.enabled)
+			}
+			if tc.enabled && hr.Sampler.Samples < 1 {
+				t.Errorf("sampler.samples = %d, want >= 1", hr.Sampler.Samples)
+			}
+			if hr.Sampler.Goroutines <= 0 || hr.Sampler.HeapLiveBytes == 0 {
+				t.Errorf("sampler readings implausible: %+v", hr.Sampler)
+			}
+		})
+	}
+}
+
+// TestSlowRequestTriggersCapture pins the slow-path satellite: a request
+// past SlowRequest pokes the profile trigger and the capture files land.
+func TestSlowRequestTriggersCapture(t *testing.T) {
+	dir := t.TempDir()
+	mreg := obs.NewRegistry()
+	rec := obs.NewRecorder(mreg, nil)
+	opts := Options{
+		Rec:         rec,
+		SlowRequest: time.Nanosecond, // every request is "slow"
+		Profiles: &profile.Trigger{
+			Dir:         dir,
+			CPUDuration: 2 * time.Millisecond,
+			Cooldown:    time.Hour,
+			Rec:         rec,
+		},
+	}
+	reg := NewRegistry(newStubTransferer(0).transfer, opts)
+	srv := NewServer(reg, opts)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rw := httptest.NewRecorder()
+	srv.ServeHTTP(rw, req)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if mreg.Counter("profile.captures").Value() > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mreg.Counter("profile.captures").Value() == 0 {
+		t.Fatalf("no capture after slow request (errors %d)",
+			mreg.Counter("profile.capture_errors").Value())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Error("capture dir empty")
+	}
+}

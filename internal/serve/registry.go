@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 // Adapter is what the registry holds per key: the narrow predict face of a
@@ -85,6 +86,14 @@ type Options struct {
 	// escalated to Warn with slow=true. Default 1s; negative disables the
 	// escalation.
 	SlowRequest time.Duration
+	// Sampler, when set, surfaces runtime-sampling status and current
+	// goroutine/heap readings on /healthz. Nil is fine: /healthz then
+	// reports sampling disabled with fresh readings.
+	Sampler *profile.Sampler
+	// Profiles, when set, is poked on slow requests (those past
+	// SlowRequest) so "why was that slow" arrives with a CPU+heap capture
+	// of the moment it happened. Nil disables triggered captures.
+	Profiles *profile.Trigger
 }
 
 func (o Options) withDefaults() Options {
@@ -314,7 +323,13 @@ func (r *Registry) build(reqCtx context.Context, key string, f *flight) {
 		}
 		close(f.done)
 	}()
-	ad, err := r.transfer(bctx, key)
+	// The transfer runs under pprof labels so CPU samples burned on cold
+	// starts are attributable to the key that paid for them.
+	var ad Adapter
+	var err error
+	profile.Do(bctx, func(ctx context.Context) {
+		ad, err = r.transfer(ctx, key)
+	}, profile.LabelKey, key, profile.LabelPhase, "transfer")
 	if err == nil && ad == nil {
 		err = fmt.Errorf("serve: transferer returned no adapter for %q", key)
 	}

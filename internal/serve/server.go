@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 // Server is the HTTP face of the service: a mux over the registry plus the
@@ -167,6 +168,12 @@ type HealthResponse struct {
 	MaxBatch  int     `json:"max_batch"`
 	MaxWaitS  float64 `json:"max_wait_s"`
 	MaxAdapt  int     `json:"max_adapters"`
+	// Goroutines / HeapLiveBytes are fresh runtime readings taken at
+	// request time; Sampler reports whether continuous sampling is on and
+	// how many samples it has taken.
+	Goroutines    int64                 `json:"goroutines"`
+	HeapLiveBytes uint64                `json:"heap_live_bytes"`
+	Sampler       profile.SamplerStatus `json:"sampler"`
 }
 
 // vcsRevision extracts the VCS revision stamped into the binary at build
@@ -263,12 +270,17 @@ func (s *Server) instrument(route string, w http.ResponseWriter, r *http.Request
 	ri := &requestInfo{}
 	ctx := withRequestInfo(r.Context(), ri)
 	ctx = obs.ContextWithSpan(ctx, span)
-	r = r.WithContext(ctx)
 
 	s.rec.SetGauge("serve.inflight", float64(s.inflight.Add(1)))
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	h(sw, r)
+	// The handler runs under a pprof route label, so CPU samples burned
+	// anywhere below attribute to the route; the labeled context flows
+	// down to the batcher, which stacks key/batch labels on top.
+	profile.Do(ctx, func(lctx context.Context) {
+		r = r.WithContext(lctx)
+		h(sw, r)
+	}, profile.LabelRoute, route)
 	dur := time.Since(start)
 	s.rec.SetGauge("serve.inflight", float64(s.inflight.Add(-1)))
 
@@ -284,8 +296,15 @@ func (s *Server) instrument(route string, w http.ResponseWriter, r *http.Request
 	}
 	s.rec.ObserveEx("serve.request_us", float64(dur.Microseconds()), nil, traceID)
 
+	slow := s.opts.SlowRequest > 0 && dur >= s.opts.SlowRequest
+	if slow {
+		// A slow request pokes the profile trigger (nil-safe, cooldown
+		// inside): the capture of the moment it happened lands next to the
+		// access-log line that flagged it.
+		s.opts.Profiles.Capture(route)
+	}
+
 	if s.opts.AccessLog != nil {
-		slow := s.opts.SlowRequest > 0 && dur >= s.opts.SlowRequest
 		level := slog.LevelInfo
 		if slow || sw.status >= 500 {
 			level = slog.LevelWarn
@@ -387,15 +406,19 @@ func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.instrument("healthz", w, r, func(w *statusWriter, _ *http.Request) {
+		goro, heap := profile.QuickReadings()
 		writeJSON(w, http.StatusOK, HealthResponse{
-			OK:        true,
-			UptimeS:   time.Since(s.start).Seconds(),
-			GoVersion: runtime.Version(),
-			Revision:  s.revision,
-			Resident:  s.reg.Resident(),
-			MaxBatch:  s.opts.MaxBatch,
-			MaxWaitS:  s.opts.MaxWait.Seconds(),
-			MaxAdapt:  s.opts.MaxAdapters,
+			OK:            true,
+			UptimeS:       time.Since(s.start).Seconds(),
+			GoVersion:     runtime.Version(),
+			Revision:      s.revision,
+			Resident:      s.reg.Resident(),
+			MaxBatch:      s.opts.MaxBatch,
+			MaxWaitS:      s.opts.MaxWait.Seconds(),
+			MaxAdapt:      s.opts.MaxAdapters,
+			Goroutines:    goro,
+			HeapLiveBytes: heap,
+			Sampler:       s.opts.Sampler.Status(),
 		})
 	})
 }

@@ -20,6 +20,15 @@
 # a trace ID, every serve.batch span links at least one request span, and
 # `obs trace -trace-id` reconstructs the slowest request's end-to-end path.
 # `obs trace` on a missing file must exit 2 with usage, not panic or pass.
+# A profiling gate then audits the resource telemetry the same selftest
+# left behind (it runs under -sample with a whole-run -cpuprofile): the
+# runtime timeline must summarize cleanly under `obs prof -gate` (no
+# goroutine leak, no unbounded heap growth), self-diff to zero regressions,
+# and fail (exit 1) against a doctored timeline with inflated goroutine and
+# heap readings — the perf-regression sentinel. The CPU profile must be
+# valid pprof, BENCH_serve.json (schema 3) must carry the resources
+# section, and `obs diff` must accept serve docs: clean on self, exit 1
+# when bytes/op is doctored 10x.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -132,6 +141,8 @@ echo "check.sh: tier-2 chaos gate passed"
 "$tmp/knowtrans" serve -selftest -scale 0.05 -seed 7 \
 	-selftest-requests 256 -selftest-concurrency 64 -selftest-adapters 4 \
 	-bench "$tmp/serve.json" -trace "$tmp/serve.jsonl" \
+	-sample 10ms -timeline "$tmp/serve.runtime.jsonl" \
+	-cpuprofile "$tmp/serve.cpu.pprof" \
 	-access-log "$tmp/access.log" >"$tmp/serve.out" || {
 	echo "check.sh: serve selftest failed:" >&2
 	cat "$tmp/serve.out" >&2
@@ -201,4 +212,94 @@ if [ "$rc" != 2 ]; then
 	exit 1
 fi
 echo "check.sh: tier-2 serve gate passed"
+
+# --- tier-2: profiling gate --------------------------------------------------
+# The selftest above ran under the runtime sampler with a whole-run CPU
+# profile; audit what it left behind.
+[ -s "$tmp/serve.runtime.jsonl" ] || {
+	echo "check.sh: sampler wrote no runtime timeline" >&2
+	exit 1
+}
+
+# The timeline must summarize cleanly: no goroutine leak, no unbounded
+# heap growth in a healthy selftest.
+"$tmp/knowtrans" obs prof "$tmp/serve.runtime.jsonl" -gate >"$tmp/prof.out" || {
+	echo "check.sh: obs prof -gate flagged the healthy selftest:" >&2
+	cat "$tmp/prof.out" >&2
+	exit 1
+}
+grep -q 'runtime timeline:' "$tmp/prof.out" || {
+	echo "check.sh: obs prof printed no summary:" >&2
+	cat "$tmp/prof.out" >&2
+	exit 1
+}
+
+# Sentinel, negative control: a timeline diffed against itself has zero
+# budget regressions.
+"$tmp/knowtrans" obs prof "$tmp/serve.runtime.jsonl" \
+	-diff "$tmp/serve.runtime.jsonl" >/dev/null || {
+	echo "check.sh: obs prof self-diff reported regressions" >&2
+	exit 1
+}
+
+# Sentinel, positive control: doctor the timeline (goroutine and heap
+# readings inflated by a leading digit, ~10-90x) and require the diff
+# against the real baseline to exit 1.
+sed -e 's/"goroutines":\([0-9]\)/"goroutines":9\1/' \
+	-e 's/"heap_live_bytes":\([0-9]\)/"heap_live_bytes":9\1/' \
+	"$tmp/serve.runtime.jsonl" >"$tmp/doctored.runtime.jsonl"
+rc=0
+"$tmp/knowtrans" obs prof "$tmp/doctored.runtime.jsonl" \
+	-diff "$tmp/serve.runtime.jsonl" >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 1 ]; then
+	echo "check.sh: obs prof -diff on doctored timeline exited $rc, want 1" >&2
+	exit 1
+fi
+
+# The whole-run CPU profile must be valid pprof (label-propagation down to
+# the adapter is pinned by unit tests; a live profile's sample mix is
+# load-dependent and not asserted here).
+[ -s "$tmp/serve.cpu.pprof" ] || {
+	echo "check.sh: selftest wrote no CPU profile" >&2
+	exit 1
+}
+go tool pprof -raw "$tmp/serve.cpu.pprof" >/dev/null 2>&1 || {
+	echo "check.sh: serve.cpu.pprof is not a valid profile" >&2
+	exit 1
+}
+
+# BENCH_serve.json schema 3 carries the resources section, and obs diff
+# understands serve docs: clean against itself, exit 1 when bytes/op is
+# doctored an order of magnitude worse.
+grep -q '"schema_version": 3' "$tmp/serve.json" || {
+	echo "check.sh: BENCH_serve.json is not schema 3" >&2
+	exit 1
+}
+grep -q '"bytes_per_op"' "$tmp/serve.json" || {
+	echo "check.sh: BENCH_serve.json lacks the resources section" >&2
+	exit 1
+}
+"$tmp/knowtrans" obs diff "$tmp/serve.json" "$tmp/serve.json" >/dev/null || {
+	echo "check.sh: obs diff on identical serve docs reported regressions" >&2
+	exit 1
+}
+sed -e 's/"bytes_per_op": \([0-9]\)/"bytes_per_op": 9\1/' \
+	-e 's/"allocs_per_op": \([0-9]\)/"allocs_per_op": 9\1/' \
+	"$tmp/serve.json" >"$tmp/serve.doctored.json"
+rc=0
+"$tmp/knowtrans" obs diff "$tmp/serve.json" "$tmp/serve.doctored.json" \
+	-rel-tol 0.5 >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 1 ]; then
+	echo "check.sh: obs diff on doctored serve doc exited $rc, want 1" >&2
+	exit 1
+fi
+
+# A missing timeline is an operator mistake: exit 2 with usage.
+rc=0
+"$tmp/knowtrans" obs prof "$tmp/no-such-timeline.jsonl" >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 2 ]; then
+	echo "check.sh: obs prof on a missing file exited $rc, want 2" >&2
+	exit 1
+fi
+echo "check.sh: tier-2 profiling gate passed"
 echo "check.sh: all gates passed"
