@@ -19,6 +19,7 @@ import (
 	"repro/internal/akb"
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/eval"
 	"repro/internal/lora"
@@ -119,6 +120,46 @@ func BenchmarkInferenceFused(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Predict(ex)
+	}
+}
+
+// serveBenchInstances builds the fixed micro-batch both ServePredict
+// benchmarks answer: 8 test instances of one EM dataset, the serve hot
+// path's unit of work at the default MaxBatch.
+func serveBenchInstances() (tasks.Spec, []*data.Instance) {
+	bundle := datagen.ByKey("EM/Walmart-Amazon", 1, 0.05)
+	ins := make([]*data.Instance, 8)
+	for i := range ins {
+		ins[i] = bundle.DS.Test[i%len(bundle.DS.Test)]
+	}
+	return bundle.Spec(), ins
+}
+
+// BenchmarkServePredict measures the serve hot path's unit of work: one
+// micro-batch of 8 predictions answered by the batched forward pass
+// (shared candidate encoding, one matmul per layer per batch, pooled
+// scratch). Answers are bit-identical to the serial path below; the ratio
+// of the two ns/op numbers is the batching speedup check.sh gates on, and
+// the -benchmem counters feed the allocation gate via `knowtrans obs diff`.
+func BenchmarkServePredict(b *testing.B) {
+	m := model.New(model.Config{Name: "bench", Hidden: model.Hidden7B, Seed: 1})
+	spec, ins := serveBenchInstances()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatchWith(spec, ins, nil)
+	}
+}
+
+// BenchmarkServePredictSerial answers the same micro-batch one prediction
+// at a time — the pre-batching serve path, kept as the benchmark baseline.
+func BenchmarkServePredictSerial(b *testing.B) {
+	m := model.New(model.Config{Name: "bench", Hidden: model.Hidden7B, Seed: 1})
+	spec, ins := serveBenchInstances()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			m.PredictWith(spec, in, nil)
+		}
 	}
 }
 

@@ -34,6 +34,8 @@ func runServe(args []string) {
 	maxAdapters := fs.Int("max-adapters", 8, "resident-adapter bound (LRU eviction beyond it)")
 	maxBatch := fs.Int("max-batch", 8, "per-adapter micro-batch cap (1 disables batching)")
 	maxWait := fs.Duration("batch-wait", 2*time.Millisecond, "how long a non-full batch lingers for stragglers")
+	serialPredict := fs.Bool("serial-predict", false,
+		"force per-request Predict even for batch-capable adapters (the serial oracle path the batched path is gated against)")
 	reqTimeout := fs.Duration("timeout", 60*time.Second, "per-request deadline")
 	transferTimeout := fs.Duration("transfer-timeout", 0, "cold-start Transfer bound (0 = unbounded)")
 	faultSpec := fs.String("faults", "",
@@ -45,6 +47,8 @@ func runServe(args []string) {
 	stRequests := fs.Int("selftest-requests", 256, "selftest: total predict requests")
 	stConcurrency := fs.Int("selftest-concurrency", 64, "selftest: concurrent in-flight requests")
 	stAdapters := fs.Int("selftest-adapters", 4, "selftest: distinct adapters to load")
+	stWarm := fs.Bool("selftest-warm", false,
+		"selftest: pre-warm all adapters before the timed load, so throughput and bytes/op measure serving cost, not cold starts")
 	benchPath := fs.String("bench", "BENCH_serve.json", "selftest: write the perf record to `file` (empty to disable)")
 	of := addObsFlags(fs)
 	parseOrExit(fs, args)
@@ -95,6 +99,7 @@ func runServe(args []string) {
 		MaxAdapters:     *maxAdapters,
 		MaxBatch:        *maxBatch,
 		MaxWait:         *maxWait,
+		SerialPredict:   *serialPredict,
 		RequestTimeout:  *reqTimeout,
 		TransferTimeout: *transferTimeout,
 		Rec:             rec,
@@ -111,6 +116,7 @@ func runServe(args []string) {
 			requests:    *stRequests,
 			concurrency: *stConcurrency,
 			adapters:    *stAdapters,
+			warm:        *stWarm,
 			benchPath:   *benchPath,
 			seed:        *seed,
 			scale:       *scale,
@@ -157,6 +163,7 @@ type selftestConfig struct {
 	requests    int
 	concurrency int
 	adapters    int
+	warm        bool
 	benchPath   string
 	seed        int64
 	scale       float64
@@ -169,7 +176,10 @@ type selftestConfig struct {
 // starts coalesced. Schema 2 added trace-echo accounting and the
 // sample-trace handle to the embedded LoadReport; schema 3 added the
 // Resources section (allocation and GC cost of the load run) so `obs diff`
-// can gate resource regressions alongside latency ones.
+// can gate resource regressions alongside latency ones; schema 4 added the
+// Batching section (batch counts, average size, and whether the run was
+// pinned to the serial oracle path) so the check.sh perf gate can compare a
+// batched run against its -serial-predict baseline.
 type BenchServe struct {
 	SchemaVersion int                  `json:"schema_version"`
 	GeneratedAt   string               `json:"generated_at"`
@@ -177,12 +187,27 @@ type BenchServe struct {
 	Scale         float64              `json:"scale"`
 	Faults        string               `json:"faults,omitempty"`
 	Keys          []string             `json:"keys"`
+	Warmed        bool                 `json:"warmed,omitempty"`
 	MaxBatch      int                  `json:"max_batch"`
 	MaxAdapters   int                  `json:"max_adapters"`
 	BatchWaitS    float64              `json:"batch_wait_s"`
 	Report        *serve.LoadReport    `json:"report"`
 	Resources     *BenchServeResources `json:"resources,omitempty"`
+	Batching      *BenchServeBatching  `json:"batching,omitempty"`
 	Adapters      []serve.KeyStats     `json:"adapters"`
+}
+
+// BenchServeBatching is the selftest's batching evidence, read back from
+// the service's own metrics after the load run: how many batches formed,
+// how many were answered by the one-pass batched forward (equal to Batches
+// on a healthy batched run, zero on a -serial-predict run), and the batch
+// size distribution.
+type BenchServeBatching struct {
+	SerialPredict   bool    `json:"serial_predict"`
+	Batches         int64   `json:"batches"`
+	BatchedPredicts int64   `json:"batched_predicts"`
+	AvgBatchSize    float64 `json:"avg_batch_size"`
+	MaxBatchSize    float64 `json:"max_batch_size"`
 }
 
 // BenchServeResources is the selftest's resource accounting: runtime
@@ -249,6 +274,19 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 	fmt.Printf("selftest: %d requests, %d concurrent, %d adapters via %s\n",
 		len(items), cfg.concurrency, len(keys), baseURL)
 
+	// A warm run builds every adapter up front, so the timed bracket below
+	// measures pure serving cost — the comparison surface for the batched
+	// vs -serial-predict perf gate. Cold-start coalescing is still proven
+	// (Transfers stays 1 per key); the default cold run exercises the race.
+	if cfg.warm {
+		fmt.Printf("selftest: pre-warming %d adapters...\n", len(keys))
+		for _, key := range keys {
+			if _, err := reg.Warm(context.Background(), key); err != nil {
+				return fmt.Errorf("selftest: warm %s: %w", key, err)
+			}
+		}
+	}
+
 	// Resource accounting brackets the load run only: reference-adapter
 	// building above is excluded, so bytes/op reflects serving cost.
 	statsBefore := profile.ReadStats()
@@ -261,6 +299,19 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 		return fmt.Errorf("selftest: load run: %w", err)
 	}
 	snap := reg.Snapshot()
+	// Batching evidence comes from the service's own metrics: the batcher
+	// counts every drained batch and every one answered by the one-pass
+	// batched forward.
+	bat := &BenchServeBatching{SerialPredict: cfg.opts.SerialPredict}
+	if cfg.opts.Rec != nil && cfg.opts.Rec.Metrics != nil {
+		ms := cfg.opts.Rec.Metrics.Snapshot()
+		bat.Batches = ms.Counters["serve.batches"]
+		bat.BatchedPredicts = ms.Counters["serve.batched_predicts"]
+		if h, ok := ms.Histograms["serve.batch_size"]; ok {
+			bat.AvgBatchSize = h.Mean
+			bat.MaxBatchSize = h.Max
+		}
+	}
 	rd := statsAfter.Delta(statsBefore)
 	res := &BenchServeResources{
 		AllocBytesTotal:   rd.AllocBytes,
@@ -282,6 +333,8 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 	fmt.Printf("selftest: resources: %.0f B/op, %.1f allocs/op, %d gc cycles (%.1fms pause), %d goroutines, heap %.1fMB\n",
 		res.BytesPerOp, res.AllocsPerOp, res.GCCycles, res.GCPauseTotalUS/1e3,
 		res.GoroutinesEnd, float64(res.HeapLiveEndBytes)/(1<<20))
+	fmt.Printf("selftest: batching: %d batches (avg %.1f, max %.0f), %d batched predicts, serial=%v\n",
+		bat.Batches, bat.AvgBatchSize, bat.MaxBatchSize, bat.BatchedPredicts, bat.SerialPredict)
 	if rep.SampleTrace != "" {
 		fmt.Printf("selftest: slowest request trace %s (inspect: knowtrans obs trace FILE.jsonl -trace-id %s)\n",
 			rep.SampleTrace, rep.SampleTrace)
@@ -293,17 +346,19 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 
 	if cfg.benchPath != "" {
 		doc := &BenchServe{
-			SchemaVersion: 3,
+			SchemaVersion: 4,
 			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 			Seed:          cfg.seed,
 			Scale:         cfg.scale,
 			Faults:        cfg.faults,
 			Keys:          keys,
+			Warmed:        cfg.warm,
 			MaxBatch:      cfg.opts.MaxBatch,
 			MaxAdapters:   cfg.opts.MaxAdapters,
 			BatchWaitS:    cfg.opts.MaxWait.Seconds(),
 			Report:        rep,
 			Resources:     res,
+			Batching:      bat,
 			Adapters:      snap,
 		}
 		blob, err := json.MarshalIndent(doc, "", "  ")
@@ -336,6 +391,16 @@ func runServeSelftest(z *eval.Zoo, reg *serve.Registry, srv *serve.Server, cfg s
 			return fmt.Errorf("selftest: adapter %s ran %d Transfers; cold starts must coalesce to exactly 1",
 				st.Key, st.Transfers)
 		}
+	}
+	// A non-serial run must actually exercise the batched forward (every
+	// drained batch rides it — core.Adapted implements BatchPredictor); a
+	// -serial-predict run must never touch it.
+	if cfg.opts.SerialPredict {
+		if bat.BatchedPredicts != 0 {
+			return fmt.Errorf("selftest: %d batched predicts under -serial-predict, want 0", bat.BatchedPredicts)
+		}
+	} else if bat.Batches > 0 && bat.BatchedPredicts != bat.Batches {
+		return fmt.Errorf("selftest: %d/%d batches took the batched path; all must", bat.BatchedPredicts, bat.Batches)
 	}
 	fmt.Println("selftest: PASS")
 	return nil

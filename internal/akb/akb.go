@@ -27,6 +27,14 @@ type Predictor interface {
 	PredictWith(spec tasks.Spec, in *data.Instance, k *tasks.Knowledge) string
 }
 
+// BatchPredictor is the optional batched fast path of a Predictor. Evaluate
+// and Errors use it when available; the answers must be identical to calling
+// PredictWith per instance (the model's batched forward is bit-identical to
+// the serial one). The returned slice may be scratch reused across calls.
+type BatchPredictor interface {
+	PredictBatchWith(spec tasks.Spec, ins []*data.Instance, k *tasks.Knowledge) []string
+}
+
 // ErrorCase is one validation failure: the instance plus the model's wrong
 // answer, the raw material of the Feedback step.
 type ErrorCase struct {
@@ -409,6 +417,12 @@ func Evaluate(pred Predictor, spec tasks.Spec, ins []*data.Instance, k *tasks.Kn
 		return 0
 	}
 	metric := tasks.NewMetric(spec.Metric)
+	if bp, ok := pred.(BatchPredictor); ok {
+		for i, got := range bp.PredictBatchWith(spec, ins, k) {
+			metric.Add(got, ins[i].GoldText())
+		}
+		return metric.Score()
+	}
 	for _, in := range ins {
 		metric.Add(pred.PredictWith(spec, in, k), in.GoldText())
 	}
@@ -419,6 +433,14 @@ func Evaluate(pred Predictor, spec tasks.Spec, ins []*data.Instance, k *tasks.Kn
 // (Algorithm 2 line 6).
 func Errors(pred Predictor, spec tasks.Spec, ins []*data.Instance, k *tasks.Knowledge) []ErrorCase {
 	var out []ErrorCase
+	if bp, ok := pred.(BatchPredictor); ok {
+		for i, got := range bp.PredictBatchWith(spec, ins, k) {
+			if !equalAnswer(got, ins[i].GoldText()) {
+				out = append(out, ErrorCase{Instance: ins[i], Predicted: got})
+			}
+		}
+		return out
+	}
 	for _, in := range ins {
 		got := pred.PredictWith(spec, in, k)
 		if !equalAnswer(got, in.GoldText()) {

@@ -19,6 +19,14 @@ type Predictor interface {
 	Predict(in *data.Instance) string
 }
 
+// BatchPredictor is the optional batched face of a Predictor: one call
+// answers a whole instance slice through the backbone's batched forward
+// pass. Answers must be identical to calling Predict per instance; the
+// returned slice may be scratch reused across calls.
+type BatchPredictor interface {
+	PredictBatch(ins []*data.Instance) []string
+}
+
 // AdaptContext is everything a method may use to adapt: the dataset bundle
 // (for its task kind and seed knowledge — never its test labels), the
 // few-shot labeled sample, and a seed.
@@ -39,10 +47,21 @@ type Method interface {
 	Adapt(ctx *AdaptContext) Predictor
 }
 
-// Evaluate runs a predictor over a test set with the task's metric.
+// Evaluate runs a predictor over a test set with the task's metric. A
+// predictor that also implements BatchPredictor is scored through one
+// batched call (bit-identical answers, one forward per micro-batch instead
+// of one per instance); a wrong-length batch falls back to the serial loop.
 func Evaluate(p Predictor, kind tasks.Kind, test []*data.Instance) float64 {
 	spec := tasks.SpecFor(kind)
 	metric := tasks.NewMetric(spec.Metric)
+	if bp, ok := p.(BatchPredictor); ok {
+		if got := bp.PredictBatch(test); len(got) == len(test) {
+			for i, g := range got {
+				metric.Add(g, test[i].GoldText())
+			}
+			return metric.Score()
+		}
+	}
 	for _, in := range test {
 		metric.Add(p.Predict(in), in.GoldText())
 	}
@@ -59,6 +78,12 @@ type modelPredictor struct {
 
 func (p *modelPredictor) Predict(in *data.Instance) string {
 	return p.m.PredictWith(p.spec, in, p.k)
+}
+
+// PredictBatch answers the slice through the model's batched forward —
+// the BatchPredictor face Evaluate prefers.
+func (p *modelPredictor) PredictBatch(ins []*data.Instance) []string {
+	return p.m.PredictBatchWith(p.spec, ins, p.k)
 }
 
 // FineTuned is the standard "fine-tune the whole model on the few-shot

@@ -157,6 +157,18 @@ func (a *Adapted) Predict(ctx context.Context, in *data.Instance) string {
 	return a.Model.PredictWith(tasks.SpecFor(a.Kind), in, a.Knowledge)
 }
 
+// PredictBatch answers a whole micro-batch through the model's batched
+// forward pass. Answers are identical to calling Predict per instance (the
+// batched path is bit-identical to the serial one); the serve batcher is the
+// caller. The returned slice is scratch reused across calls; a dead context
+// returns nil.
+func (a *Adapted) PredictBatch(ctx context.Context, ins []*data.Instance) []string {
+	if ctx != nil && ctx.Err() != nil {
+		return nil
+	}
+	return a.Model.PredictBatchWith(tasks.SpecFor(a.Kind), ins, a.Knowledge)
+}
+
 // Detached is Adapted without the context parameter: the shape the
 // experiment harness's Predictor seam expects. Every call runs under
 // context.Background().
@@ -165,6 +177,13 @@ type Detached struct{ *Adapted }
 // Predict satisfies the harness's context-free Predictor interface.
 func (d Detached) Predict(in *data.Instance) string {
 	return d.Adapted.Predict(context.Background(), in)
+}
+
+// PredictBatch satisfies the harness's context-free batched face, so
+// experiment eval loops score adapted models one micro-batch per forward
+// instead of one instance per forward. The returned slice is scratch.
+func (d Detached) PredictBatch(ins []*data.Instance) []string {
+	return d.Adapted.PredictBatch(context.Background(), ins)
 }
 
 // Detached returns a context-free predictor view of the adapted model.

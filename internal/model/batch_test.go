@@ -1,0 +1,182 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/lora"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/tasks"
+)
+
+// patchedModel returns a model carrying a live LoRA patch on every layer, so
+// the equivalence suite exercises the batched patch kernels too.
+func patchedModel(t *testing.T) *Model {
+	t.Helper()
+	m := New(tinyConfig())
+	rng := rand.New(rand.NewSource(21))
+	coef := &nn.Scalar{Name: "lam", Val: 0.6}
+	p := lora.Attach("test-patch", m.LoraLayers(), lora.Config{Rank: 3, Alpha: 1.5}, coef, rng)
+	for _, at := range p.Attachments {
+		at.A.W.FillGaussian(rng, 0.4)
+	}
+	m.Trust.Val = 0.3
+	return m
+}
+
+// hintKnowledge compiles to non-zero hints on toyED instances with "%".
+func hintKnowledge() *tasks.Knowledge {
+	return &tasks.Knowledge{Rules: []tasks.Rule{{
+		Cond:   tasks.Condition{Pred: tasks.PredFormat, Arg: tasks.FormatPercent},
+		Answer: tasks.Answer{Literal: tasks.AnswerYes},
+		Weight: 0.8,
+	}}}
+}
+
+// disjointCandidates rewrites each instance to its own candidate set, so the
+// batch-level dedup map sees no sharing.
+func disjointCandidates(ins []*data.Instance) {
+	for i, in := range ins {
+		suffix := string(rune('a' + i%26))
+		in.Candidates = []string{"value " + suffix, "other " + suffix}
+	}
+}
+
+// TestScoresBatchMatchesScores is the table-driven equivalence suite from
+// the issue: batch sizes {1, 7, MaxBatch(=64)}, shared vs disjoint candidate
+// sets, with and without hint-carrying knowledge — every score bit-identical
+// to the serial oracle, every argmax identical.
+func TestScoresBatchMatchesScores(t *testing.T) {
+	spec := tasks.SpecFor(tasks.ED)
+	cases := []struct {
+		name     string
+		size     int
+		disjoint bool
+		know     *tasks.Knowledge
+	}{
+		{"batch1-shared", 1, false, nil},
+		{"batch7-shared", 7, false, nil},
+		{"batch64-shared", 64, false, nil},
+		{"batch7-disjoint", 7, true, nil},
+		{"batch64-disjoint", 64, true, nil},
+		{"batch7-hints", 7, false, hintKnowledge()},
+		{"batch64-hints", 64, false, hintKnowledge()},
+		{"batch1-hints", 1, false, hintKnowledge()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := patchedModel(t)
+			ins := toyED(tc.size, int64(100+tc.size))
+			if tc.disjoint {
+				disjointCandidates(ins)
+			}
+			exs := make([]*tasks.Example, len(ins))
+			for i, in := range ins {
+				exs[i] = tasks.BuildExample(spec, in, tc.know)
+			}
+			// Serial oracle first (Scores returns scratch; copy out).
+			want := make([][]float64, len(exs))
+			wantIdx := make([]int, len(exs))
+			for i, ex := range exs {
+				sc := m.Scores(ex)
+				want[i] = append([]float64(nil), sc...)
+				wantIdx[i], _ = nanSafeArgmax(sc)
+			}
+			got := m.ScoresBatch(exs)
+			if len(got) != len(want) {
+				t.Fatalf("batch returned %d rows, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if len(got[i]) != len(want[i]) {
+					t.Fatalf("row %d: %d scores, want %d", i, len(got[i]), len(want[i]))
+				}
+				for k := range want[i] {
+					if math.Float64bits(got[i][k]) != math.Float64bits(want[i][k]) {
+						t.Fatalf("%s row %d cand %d: batched %x serial %x", tc.name, i, k,
+							math.Float64bits(got[i][k]), math.Float64bits(want[i][k]))
+					}
+				}
+			}
+			for i, best := range m.PredictBatch(exs) {
+				if best != wantIdx[i] {
+					t.Fatalf("row %d: batched argmax %d, serial %d", i, best, wantIdx[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchWithMatchesPredictWith pins the full serve-path chain
+// (BuildExampleInto + batched forward) against the serial PredictWith,
+// across a chunk boundary (evalBatch+5 instances).
+func TestPredictBatchWithMatchesPredictWith(t *testing.T) {
+	m := patchedModel(t)
+	spec := tasks.SpecFor(tasks.ED)
+	ins := toyED(evalBatch+5, 77)
+	k := hintKnowledge()
+	got := m.PredictBatchWith(spec, ins, k)
+	if len(got) != len(ins) {
+		t.Fatalf("got %d answers for %d instances", len(got), len(ins))
+	}
+	for i, in := range ins {
+		if want := m.PredictWith(spec, in, k); got[i] != want {
+			t.Fatalf("instance %d: batched %q, serial %q", i, got[i], want)
+		}
+	}
+}
+
+// TestPredictNaNSafe is the regression test for the NaN-blind argmax: a NaN
+// in slot 0 used to make every comparison false and silently elect
+// candidate 0.
+func TestPredictNaNSafe(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		scores []float64
+		want   int
+		nans   int
+	}{
+		{"nan-first", []float64{nan, 0.2, 0.9}, 2, 1},
+		{"nan-middle", []float64{0.1, nan, 0.05}, 0, 1},
+		{"all-nan", []float64{nan, nan}, 0, 2},
+		{"no-nan-ties-low", []float64{0.5, 0.5, 0.1}, 0, 0},
+		{"negatives", []float64{nan, -3, -1}, 2, 1},
+	}
+	for _, tc := range cases {
+		best, nans := nanSafeArgmax(tc.scores)
+		if best != tc.want || nans != tc.nans {
+			t.Fatalf("%s: nanSafeArgmax = (%d, %d), want (%d, %d)", tc.name, best, nans, tc.want, tc.nans)
+		}
+	}
+}
+
+// TestPredictCountsNaNScores drives a real NaN through Predict and
+// PredictBatch (via a poisoned hint on one candidate) and checks the
+// model.nan_scores counter and that both argmaxes skip the NaN.
+func TestPredictCountsNaNScores(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := New(tinyConfig())
+	m.Rec = &obs.Recorder{Metrics: reg}
+	m.Trust.Val = 1
+	in := toyED(1, 5)[0]
+	in.Fields[0].Value = "0.07%"
+	ex := tasks.BuildExample(tasks.SpecFor(tasks.ED), in, nil)
+	ex.Hints = []float64{math.NaN(), 0} // poisons candidate 0 only
+	best := m.Predict(ex)
+	if best != 1 {
+		t.Fatalf("Predict returned the NaN-scored candidate: %d", best)
+	}
+	if got := reg.Counter("model.nan_scores").Value(); got != 1 {
+		t.Fatalf("model.nan_scores = %d after Predict, want 1", got)
+	}
+	batch := m.PredictBatch([]*tasks.Example{ex})
+	if batch[0] != 1 {
+		t.Fatalf("PredictBatch returned the NaN-scored candidate: %d", batch[0])
+	}
+	if got := reg.Counter("model.nan_scores").Value(); got != 2 {
+		t.Fatalf("model.nan_scores = %d after PredictBatch, want 2", got)
+	}
+}

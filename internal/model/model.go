@@ -82,6 +82,7 @@ type Model struct {
 
 	candCache map[string]*tensor.Sparse
 	scratch   scratch
+	batch     *batchScratch
 }
 
 type scratch struct {
@@ -226,15 +227,15 @@ func (m *Model) Scores(ex *tasks.Example) tensor.Vec {
 }
 
 // Predict returns the index of the highest-scoring candidate; ties break
-// deterministically toward the lower index.
+// deterministically toward the lower index. NaN scores are skipped (a NaN in
+// slot 0 used to poison every comparison and silently elect candidate 0) and
+// surface in the model.nan_scores counter; an all-NaN row falls back to 0.
 func (m *Model) Predict(ex *tasks.Example) int {
 	m.Rec.Count("model.predict", 1)
 	scores := m.Scores(ex)
-	best := 0
-	for k, s := range scores {
-		if s > scores[best] {
-			best = k
-		}
+	best, nans := nanSafeArgmax(scores)
+	if nans > 0 {
+		m.Rec.Count("model.nan_scores", int64(nans))
 	}
 	return best
 }
@@ -326,12 +327,12 @@ func (m *Model) PredictWith(spec tasks.Spec, in *data.Instance, k *tasks.Knowled
 }
 
 // Evaluate scores the model on instances with the given knowledge and
-// returns the task metric on the 100-point scale.
+// returns the task metric on the 100-point scale. It runs the batched
+// forward path (bit-identical to the serial per-instance loop).
 func (m *Model) Evaluate(spec tasks.Spec, ins []*data.Instance, k *tasks.Knowledge) float64 {
 	metric := tasks.NewMetric(spec.Metric)
-	for _, in := range ins {
-		ex := tasks.BuildExample(spec, in, k)
-		metric.Add(ex.Candidates[m.Predict(ex)], in.GoldText())
+	for i, ans := range m.PredictBatchWith(spec, ins, k) {
+		metric.Add(ans, ins[i].GoldText())
 	}
 	return metric.Score()
 }

@@ -1,0 +1,27 @@
+package obs
+
+import "testing"
+
+func TestDeleteGaugeRetiresSeries(t *testing.T) {
+	reg := NewRegistry()
+	rec := &Recorder{Metrics: reg}
+	rec.SetGauge("serve.queue_depth/em/beer", 3)
+	rec.SetGauge("serve.queue_depth/di/buy", 1)
+	reg.DeleteGauge("serve.queue_depth/em/beer")
+	snap := reg.Snapshot()
+	if _, ok := snap.Gauges["serve.queue_depth/em/beer"]; ok {
+		t.Fatal("deleted gauge still present in snapshot")
+	}
+	if v, ok := snap.Gauges["serve.queue_depth/di/buy"]; !ok || v != 1 {
+		t.Fatalf("unrelated gauge disturbed: %v %v", v, ok)
+	}
+	// Idempotent on missing names, nil-safe on nil recorders.
+	reg.DeleteGauge("serve.queue_depth/em/beer")
+	var nilRec *Recorder
+	nilRec.DeleteGauge("anything")
+	// Re-creating after deletion starts a fresh series.
+	rec.SetGauge("serve.queue_depth/em/beer", 7)
+	if v := reg.Snapshot().Gauges["serve.queue_depth/em/beer"]; v != 7 {
+		t.Fatalf("recreated gauge = %v, want 7", v)
+	}
+}

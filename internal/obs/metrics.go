@@ -315,6 +315,19 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// DeleteGauge removes the named gauge so it no longer appears in snapshots
+// or /metrics output. Use it to retire per-key series whose key was evicted;
+// a gauge that merely reads zero still occupies a line in /metrics forever,
+// and a long-running server churning through keys accumulates stale series
+// without bound. Deleting a missing gauge is a no-op. Callers must not hold
+// on to the *Gauge across deletion: a later Gauge(name) call creates a fresh
+// series.
+func (r *Registry) DeleteGauge(name string) {
+	r.mu.Lock()
+	delete(r.gaug, name)
+	r.mu.Unlock()
+}
+
 // Histogram returns the named histogram, creating it with the given bounds
 // on first use (DefaultLatencyBounds when bounds is nil). Bounds of an
 // existing histogram are not changed.

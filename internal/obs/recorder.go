@@ -79,6 +79,15 @@ func (r *Recorder) SetGauge(name string, v float64) {
 	r.Metrics.Gauge(name).Set(v)
 }
 
+// DeleteGauge retires the named gauge from the registry (see
+// Registry.DeleteGauge). Nil-safe like every Recorder method.
+func (r *Recorder) DeleteGauge(name string) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	r.Metrics.DeleteGauge(name)
+}
+
 // Event emits a structured event into the trace stream, parented to the
 // recorder's current span. args are slog-style attributes (alternating
 // key/value pairs or slog.Attr values). Events are how the pipeline records

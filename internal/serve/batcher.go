@@ -11,6 +11,17 @@ import (
 	"repro/internal/obs/profile"
 )
 
+// BatchPredictor is the optional batched fast path of an Adapter: answer a
+// whole micro-batch in one forward pass. core.Adapted implements it via the
+// model's batched forward, which is bit-identical to serial Predict — the
+// serve selftest gates on byte-equal answers, so an implementation may only
+// provide this if it preserves exact per-request results. The returned slice
+// must have one answer per instance; it may be scratch reused across calls
+// (the batcher copies answers out before the next call).
+type BatchPredictor interface {
+	PredictBatch(ctx context.Context, ins []*data.Instance) []string
+}
+
 // predictReq is one queued prediction: the instance, the requester's
 // context (checked again at serve time so abandoned work is shed), and a
 // one-slot reply channel.
@@ -36,25 +47,33 @@ var sizeBounds = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128,
 // under a mutex; a single goroutine drains the queue into batches of at
 // most maxBatch, lingering up to maxWait for stragglers once it holds at
 // least one request, then answers the whole batch against the model.
-// Batching serves two purposes: hot adapters amortize per-call overhead
-// across a batch, and — since the underlying model reuses scratch buffers
-// and is not safe for concurrent Predict — the loop is also the per-adapter
-// serialization point, so the registry can accept unbounded request
-// concurrency without data races.
+// Batching serves two purposes: hot adapters answer the batch in one batched
+// forward pass (see BatchPredictor), and — since the underlying model reuses
+// scratch buffers and is not safe for concurrent Predict — the loop is also
+// the per-adapter serialization point, so the registry can accept unbounded
+// request concurrency without data races.
 //
 // The enqueue path checks the stopped flag under the same mutex that stop
 // sets it, so after stop returns no new request can slip into the queue:
 // everything queued is failed with errBatcherStopped (the registry's retry
-// signal) and later arrivals are refused at the door.
+// signal) and later arrivals are refused at the door. The per-key depth
+// gauge is written only under that mutex too, which is what lets stop
+// retire the gauge without racing a late enqueue's write.
 type batcher struct {
 	key      string
 	ad       Adapter
 	maxBatch int
 	maxWait  time.Duration
-	rec      *obs.Recorder
+	// serial forces the per-request oracle path even when the adapter
+	// implements BatchPredictor (Options.SerialPredict; the perf gate's
+	// baseline and the selftest's reference behavior).
+	serial bool
+	rec    *obs.Recorder
 	// depthGauge is the per-key queue depth gauge name, precomputed so the
 	// enqueue hot path does no string concatenation.
 	depthGauge string
+	// now is the clock, injectable for deterministic linger tests.
+	now func() time.Time
 
 	mu      sync.Mutex
 	queue   []*predictReq
@@ -66,16 +85,29 @@ type batcher struct {
 	wake  chan struct{}
 	stopc chan struct{}
 	done  chan struct{}
+
+	// linger timer, allocated once per batcher and reused across batches
+	// (Stop+drain+Reset protocol). timerInits counts allocations so the
+	// reuse is testable; it is written only by the loop goroutine and read
+	// after done closes.
+	timer      *time.Timer
+	timerInits int
+
+	// serve-loop scratch, reused across batches (single owner: the loop).
+	live []*predictReq
+	ins  []*data.Instance
 }
 
-func newBatcher(key string, ad Adapter, maxBatch int, maxWait time.Duration, rec *obs.Recorder) *batcher {
+func newBatcher(key string, ad Adapter, maxBatch int, maxWait time.Duration, serial bool, rec *obs.Recorder) *batcher {
 	b := &batcher{
 		key:        key,
 		ad:         ad,
 		maxBatch:   maxBatch,
 		maxWait:    maxWait,
+		serial:     serial,
 		rec:        rec,
 		depthGauge: "serve.queue_depth/" + key,
+		now:        time.Now,
 		wake:       make(chan struct{}, 1),
 		stopc:      make(chan struct{}),
 		done:       make(chan struct{}),
@@ -91,7 +123,7 @@ func (b *batcher) predict(ctx context.Context, in *data.Instance) (string, error
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	r := &predictReq{ctx: ctx, in: in, resp: make(chan predictResp, 1), enq: time.Now()}
+	r := &predictReq{ctx: ctx, in: in, resp: make(chan predictResp, 1), enq: b.now()}
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
@@ -99,9 +131,9 @@ func (b *batcher) predict(ctx context.Context, in *data.Instance) (string, error
 	}
 	b.queue = append(b.queue, r)
 	depth := len(b.queue)
+	b.rec.SetGauge(b.depthGauge, float64(depth))
 	b.mu.Unlock()
 	b.rec.Observe("serve.queue_depth", float64(depth), sizeBounds)
-	b.rec.SetGauge(b.depthGauge, float64(depth))
 	select {
 	case b.wake <- struct{}{}:
 	default:
@@ -116,20 +148,23 @@ func (b *batcher) predict(ctx context.Context, in *data.Instance) (string, error
 	}
 }
 
-// stop refuses new requests, fails everything still queued, and waits for
-// the loop to exit. Queued requesters get errBatcherStopped and transparently
-// re-resolve through the registry (rebuilding the adapter if needed).
+// stop refuses new requests, fails everything still queued, waits for the
+// loop to exit, and retires the per-key depth gauge (an evicted key must
+// disappear from /metrics, not linger as a stale series). Queued requesters
+// get errBatcherStopped and transparently re-resolve through the registry.
 func (b *batcher) stop() {
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
-		<-b.done
-		return
+	} else {
+		b.stopped = true
+		b.mu.Unlock()
+		close(b.stopc)
 	}
-	b.stopped = true
-	b.mu.Unlock()
-	close(b.stopc)
 	<-b.done
+	// Safe against enqueue races: every gauge write happens under b.mu with
+	// stopped false, which happens-before the loop exit observed above.
+	b.rec.DeleteGauge(b.depthGauge)
 }
 
 // run is the drain loop: wait for work, linger for stragglers, serve the
@@ -156,13 +191,20 @@ func (b *batcher) run() {
 			continue
 		}
 		pending := len(b.queue)
+		oldest := b.queue[0].enq
 		b.mu.Unlock()
 
-		// Linger: a non-full batch waits up to maxWait for stragglers so
-		// bursts coalesce. Singleton traffic pays at most maxWait extra
+		// Linger: a non-full batch waits for stragglers so bursts coalesce.
+		// The deadline anchors at the OLDEST queued request's enqueue time,
+		// not at linger entry: under back-to-back batches the loop may reach
+		// this point long after the request arrived, and re-starting the
+		// clock here would stretch the documented maxWait bound into up to
+		// 2x tail latency. Singleton traffic pays at most maxWait extra
 		// latency; a full batch (or maxBatch 1) goes immediately.
 		if pending < b.maxBatch && b.maxBatch > 1 {
-			b.linger()
+			if wait := b.maxWait - b.now().Sub(oldest); wait > 0 {
+				b.linger(wait)
+			}
 		}
 
 		b.mu.Lock()
@@ -174,19 +216,30 @@ func (b *batcher) run() {
 		copy(batch, b.queue[:n])
 		rest := b.queue[n:]
 		b.queue = append(b.queue[:0:0], rest...)
-		left := len(b.queue)
+		b.rec.SetGauge(b.depthGauge, float64(len(b.queue)))
 		b.mu.Unlock()
-		b.rec.SetGauge(b.depthGauge, float64(left))
 		b.serve(batch)
 	}
 }
 
-// linger blocks until the batch fills, maxWait elapses, or stop. Wake
-// signals re-check the queue length under the mutex, so coalesced wakes and
-// spurious ones are harmless.
-func (b *batcher) linger() {
-	timer := time.NewTimer(b.maxWait)
-	defer timer.Stop()
+// linger blocks until the batch fills, wait elapses, or stop. Wake signals
+// re-check the queue length under the mutex, so coalesced wakes and spurious
+// ones are harmless. The timer is allocated once per batcher and reused with
+// the Stop+drain+Reset protocol — one timer per batch on the hot path was
+// pure allocation churn.
+func (b *batcher) linger(wait time.Duration) {
+	if b.timer == nil {
+		b.timer = time.NewTimer(wait)
+		b.timerInits++
+	} else {
+		if !b.timer.Stop() {
+			select {
+			case <-b.timer.C:
+			default:
+			}
+		}
+		b.timer.Reset(wait)
+	}
 	for {
 		select {
 		case <-b.wake:
@@ -196,7 +249,7 @@ func (b *batcher) linger() {
 			if full {
 				return
 			}
-		case <-timer.C:
+		case <-b.timer.C:
 			return
 		case <-b.stopc:
 			return
@@ -206,7 +259,11 @@ func (b *batcher) linger() {
 
 // serve answers one batch. Per-adapter calls are serialized by construction
 // (one loop per batcher); requests whose context already expired are shed
-// without touching the model.
+// without touching the model. When the adapter implements BatchPredictor
+// (and the batcher is not pinned serial), the surviving requests are
+// answered by ONE batched forward pass; otherwise — and as the fallback if
+// the batched call returns the wrong number of answers — each request runs
+// through the serial oracle path.
 //
 // The serve.batch span lives in its own trace — batching is shared work, so
 // it belongs to no single request — and instead *links* every member
@@ -221,8 +278,9 @@ func (b *batcher) serve(batch []*predictReq) {
 	start := time.Now()
 	b.rec.Observe("serve.batch_size", float64(len(batch)), sizeBounds)
 	batchLabel := strconv.Itoa(len(batch))
+	live := b.live[:0]
 	for _, r := range batch {
-		queueUS := time.Since(r.enq).Microseconds()
+		queueUS := b.now().Sub(r.enq).Microseconds()
 		b.rec.Observe("serve.queue_us", float64(queueUS), nil)
 		if rs := obs.SpanFromContext(r.ctx); rs != nil {
 			span.Link(rs.Context())
@@ -237,6 +295,34 @@ func (b *batcher) serve(batch []*predictReq) {
 			b.rec.Count("serve.shed", 1)
 			continue
 		}
+		live = append(live, r)
+	}
+	b.live = live[:0] // retain grown scratch for the next batch
+	if bp, ok := b.ad.(BatchPredictor); ok && !b.serial && len(live) > 0 {
+		ins := b.ins[:0]
+		for _, r := range live {
+			ins = append(ins, r.in)
+		}
+		b.ins = ins[:0]
+		ps := span.StartChild("serve.predict")
+		ps.SetAttr("size", len(live))
+		// One batched forward under pprof labels; the batch runs on behalf
+		// of every member, so it is labeled but not cancellable by any
+		// single requester (expired members were already shed above).
+		var answers []string
+		profile.Do(context.Background(), func(ctx context.Context) {
+			answers = bp.PredictBatch(ctx, ins)
+		}, profile.LabelKey, b.key, profile.LabelBatch, batchLabel)
+		ps.End()
+		if len(answers) == len(live) {
+			b.rec.Count("serve.batched_predicts", 1)
+			for i, r := range live {
+				r.resp <- predictResp{ans: answers[i]}
+			}
+			live = live[:0]
+		}
+	}
+	for _, r := range live {
 		ps := span.StartChild("serve.predict")
 		// Predict runs under pprof labels — key and batch size on top of
 		// whatever the request context already carries (route) — so CPU

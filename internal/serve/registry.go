@@ -65,8 +65,13 @@ type Options struct {
 	// batching (every request is its own batch).
 	MaxBatch int
 	// MaxWait is how long a non-full batch lingers for stragglers once it
-	// holds at least one request. Default 2ms.
+	// holds at least one request, measured from the oldest queued request's
+	// arrival. Default 2ms.
 	MaxWait time.Duration
+	// SerialPredict forces per-request Predict calls even for adapters that
+	// implement BatchPredictor. This is the oracle mode: the selftest and the
+	// perf gate compare batched output/throughput against it.
+	SerialPredict bool
 	// RequestTimeout is the per-request deadline the server applies on top
 	// of the client's context. Default 60s; negative disables.
 	RequestTimeout time.Duration
@@ -345,7 +350,7 @@ func (r *Registry) installLocked(key string, ad Adapter) {
 		key:     key,
 		ad:      ad,
 		lastUse: r.clock,
-		bat:     newBatcher(key, ad, r.opts.MaxBatch, r.opts.MaxWait, r.rec),
+		bat:     newBatcher(key, ad, r.opts.MaxBatch, r.opts.MaxWait, r.opts.SerialPredict, r.rec),
 	}
 	r.ready[key] = e
 	for len(r.ready) > r.opts.MaxAdapters {

@@ -1,0 +1,56 @@
+package tasks
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestBuildExampleIntoMatchesBuildExample pins the serve-path serializer to
+// the canonical one: identical segments (order, fields, weights, isolation),
+// candidates, gold, and hints — only the rendered Prompt is omitted.
+func TestBuildExampleIntoMatchesBuildExample(t *testing.T) {
+	k := &Knowledge{
+		Text: "Prefer exact model numbers.",
+		Serial: []SerialDirective{
+			{Attr: "price", Action: ActionIgnore},
+			{Attr: "title", Action: ActionEmphasize},
+		},
+		Rules: []Rule{{Cond: Condition{Pred: PredAlways}, Answer: Answer{Literal: AnswerYes}, Weight: 0.4}},
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		in   *data.Instance
+		k    *Knowledge
+	}{
+		{"ed-nil-knowledge", SpecFor(ED), edInstance("abv", "0.05%"), nil},
+		{"ed-knowledge", SpecFor(ED), edInstance("abv", "4.5%", data.Field{Name: "beer_name", Value: "Hop Storm"}), k},
+		{"em-pair", SpecFor(EM), pairInstance(), nil},
+		{"em-pair-knowledge", SpecFor(EM), pairInstance(), k},
+	}
+	var ex Example // reused across cases to exercise backing-array reuse
+	for _, tc := range cases {
+		want := BuildExample(tc.spec, tc.in, tc.k)
+		BuildExampleInto(&ex, tc.spec, tc.in, tc.k)
+		if len(ex.Segments) != len(want.Segments) {
+			t.Fatalf("%s: segment count %d vs %d", tc.name, len(ex.Segments), len(want.Segments))
+		}
+		for i := range want.Segments {
+			if ex.Segments[i] != want.Segments[i] {
+				t.Fatalf("%s: segment %d differs:\n got %+v\nwant %+v", tc.name, i, ex.Segments[i], want.Segments[i])
+			}
+		}
+		if ex.Gold != want.Gold || len(ex.Candidates) != len(want.Candidates) {
+			t.Fatalf("%s: gold/candidates differ", tc.name)
+		}
+		for i := range want.Hints {
+			if ex.Hints[i] != want.Hints[i] {
+				t.Fatalf("%s: hint %d: %v vs %v", tc.name, i, ex.Hints[i], want.Hints[i])
+			}
+		}
+		if ex.Prompt != "" {
+			t.Fatalf("%s: BuildExampleInto must not render a prompt", tc.name)
+		}
+	}
+}

@@ -243,20 +243,49 @@ func isISODate(v string) bool {
 	return true
 }
 
-func isSlashDate(v string) bool {
-	parts := strings.Split(v, "/")
-	if len(parts) != 3 {
+// atoiOK reports whether strconv.Atoi would accept s, without paying for
+// the error object Atoi allocates on the (common on the serve hot path)
+// reject branch.
+func atoiOK(s string) bool {
+	if s == "" {
 		return false
 	}
-	for _, p := range parts {
-		if p == "" {
-			return false
-		}
-		if _, err := strconv.Atoi(p); err != nil {
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		i = 1
+	}
+	if i == len(s) {
+		return false
+	}
+	if len(s)-i > 18 {
+		// Could overflow int64: defer to Atoi for the exact verdict.
+		_, err := strconv.Atoi(s)
+		return err == nil
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
 			return false
 		}
 	}
 	return true
+}
+
+func isSlashDate(v string) bool {
+	// Exactly three non-empty integer parts separated by '/', scanned in
+	// place — this runs per field per example, so no Split allocation.
+	first := strings.IndexByte(v, '/')
+	if first < 0 {
+		return false
+	}
+	second := strings.IndexByte(v[first+1:], '/')
+	if second < 0 {
+		return false
+	}
+	second += first + 1
+	if strings.IndexByte(v[second+1:], '/') >= 0 {
+		return false
+	}
+	return atoiOK(v[:first]) && atoiOK(v[first+1:second]) && atoiOK(v[second+1:])
 }
 
 func isTimeAMPM(v string) bool {
@@ -268,8 +297,7 @@ func isTimeAMPM(v string) bool {
 	if colon <= 0 || colon+2 >= len(lv) {
 		return false
 	}
-	h := lv[:colon]
-	if _, err := strconv.Atoi(strings.TrimSpace(h)); err != nil {
+	if !atoiOK(strings.TrimSpace(lv[:colon])) {
 		return false
 	}
 	return lv[colon+1] >= '0' && lv[colon+1] <= '9'

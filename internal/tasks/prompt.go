@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/data"
 	"repro/internal/text"
@@ -45,14 +46,26 @@ const (
 // pair-alignment features (the substrate's stand-in for what a transformer
 // reads off raw text), and compiles rules to candidate hints.
 func BuildExample(spec Spec, in *data.Instance, k *Knowledge) *Example {
-	ex := &Example{
-		Candidates: in.Candidates,
-		Gold:       in.Gold,
-		Hints:      k.Hints(in),
-	}
+	ex := &Example{}
+	BuildExampleInto(ex, spec, in, k)
+	ex.Prompt = RenderPrompt(spec, in, k)
+	return ex
+}
+
+// BuildExampleInto is the serve-path variant of BuildExample: it fills ex in
+// place, reusing ex.Segments' backing array, and does NOT render ex.Prompt —
+// the rendered prompt exists only for token/cost accounting and debugging,
+// and the model consumes Segments. The emitted segments are identical to
+// BuildExample's (same serializer, same order, same weights), which is what
+// keeps the batched serve path byte-identical to the direct path.
+func BuildExampleInto(ex *Example, spec Spec, in *data.Instance, k *Knowledge) {
+	ex.Candidates = in.Candidates
+	ex.Gold = in.Gold
+	ex.Hints = k.Hints(in)
+	ex.Prompt = ""
 	fields, weights := k.ApplySerial(in.Fields)
 
-	segs := []text.Segment{{Text: "task " + string(spec.Kind), Weight: wDescription}}
+	segs := append(ex.Segments[:0], text.Segment{Text: "task " + string(spec.Kind), Weight: wDescription})
 	segs = append(segs, text.Segment{Text: spec.Description, Weight: wDescription})
 	if k != nil && k.Text != "" {
 		segs = append(segs, text.Segment{Field: "knowledge", Text: k.Text, Weight: wKnowledge, Isolated: true})
@@ -78,41 +91,47 @@ func BuildExample(spec Spec, in *data.Instance, k *Knowledge) *Example {
 		segs = append(segs, text.Segment{Field: "target", Text: in.Target, Weight: wTarget})
 	}
 	// Pair-alignment features for two-entity tasks.
-	segs = append(segs, alignSegments(in)...)
+	segs = appendAlignSegments(segs, in)
 	segs = append(segs, text.Segment{Text: spec.Question, Weight: wQuestion})
 	ex.Segments = segs
-	ex.Prompt = RenderPrompt(spec, in, k)
-	return ex
 }
 
 // formatSignature describes the surface form of a value in a few tokens.
+// At most two tokens ever apply, so the common cases return a constant
+// string without building a slice — this runs for every field of every
+// example on the serve hot path.
 func formatSignature(v string) string {
-	var parts []string
+	first := ""
 	switch {
 	case IsMissingValue(v):
-		parts = append(parts, "missing")
+		return "missing"
 	case MatchesFormat(FormatPercent, v):
-		parts = append(parts, "haspercent")
+		first = "haspercent"
 	}
-	if !IsMissingValue(v) {
-		switch {
-		case MatchesFormat(FormatDateISO, v):
-			parts = append(parts, "isodate")
-		case isSlashDate(v):
-			parts = append(parts, "slashdate")
-		case MatchesFormat(FormatTimeAMPM, v):
-			parts = append(parts, "ampmtime")
-		case MatchesFormat(FormatISSN, v):
-			parts = append(parts, "issn")
-		case MatchesFormat(FormatInteger, v):
-			parts = append(parts, "integer")
-		case MatchesFormat(FormatDecimal, v):
-			parts = append(parts, "decimal")
-		case MatchesFormat(FormatNumeric, v):
-			parts = append(parts, "numericish")
-		}
+	second := ""
+	switch {
+	case MatchesFormat(FormatDateISO, v):
+		second = "isodate"
+	case isSlashDate(v):
+		second = "slashdate"
+	case MatchesFormat(FormatTimeAMPM, v):
+		second = "ampmtime"
+	case MatchesFormat(FormatISSN, v):
+		second = "issn"
+	case MatchesFormat(FormatInteger, v):
+		second = "integer"
+	case MatchesFormat(FormatDecimal, v):
+		second = "decimal"
+	case MatchesFormat(FormatNumeric, v):
+		second = "numericish"
 	}
-	return strings.Join(parts, " ")
+	switch {
+	case first == "":
+		return second
+	case second == "":
+		return first
+	}
+	return first + " " + second
 }
 
 // alignSegments derives comparison features for pair instances (EM, SM):
@@ -120,6 +139,32 @@ func formatSignature(v string) string {
 // shared-model-token signal — what a sequence model reads from seeing both
 // records side by side.
 func alignSegments(in *data.Instance) []text.Segment {
+	return appendAlignSegments(nil, in)
+}
+
+// alignCache memoizes computeAlignSegments per instance. Alignment features
+// are a pure function of in.Fields — independent of knowledge and spec — and
+// instances are long-lived dataset rows that get re-serialized constantly
+// (every AKB Evaluate sweep, every repeat prediction the serve path answers),
+// so the tokenization/map work behind them is paid once per instance instead
+// of once per build. Instances are treated as immutable after datagen, which
+// is what makes the memo sound; entries live as long as the instance does.
+var alignCache sync.Map // *data.Instance -> []text.Segment
+
+// appendAlignSegments appends the alignment segments to segs, so callers
+// with a reusable backing array avoid the intermediate slice. The cached
+// slice is append-copied, never aliased into the caller's example.
+func appendAlignSegments(segs []text.Segment, in *data.Instance) []text.Segment {
+	if v, ok := alignCache.Load(in); ok {
+		return append(segs, v.([]text.Segment)...)
+	}
+	base := computeAlignSegments(in)
+	alignCache.Store(in, base)
+	return append(segs, base...)
+}
+
+// computeAlignSegments is the uncached worker behind appendAlignSegments.
+func computeAlignSegments(in *data.Instance) (segs []text.Segment) {
 	byEntity := map[string]map[string]string{}
 	for _, f := range in.Fields {
 		if f.Entity == "" {
@@ -131,7 +176,7 @@ func alignSegments(in *data.Instance) []text.Segment {
 		byEntity[f.Entity][strings.ToLower(f.Name)] = f.Value
 	}
 	if len(byEntity) != 2 {
-		return nil
+		return segs
 	}
 	var sides []map[string]string
 	for _, e := range []string{"A", "B"} {
@@ -152,7 +197,6 @@ func alignSegments(in *data.Instance) []text.Segment {
 			sides = append(sides, byEntity[e])
 		}
 	}
-	var segs []text.Segment
 	var shared, total int
 	tokensOf := func(s string) map[string]bool {
 		out := map[string]bool{}

@@ -300,28 +300,106 @@ func (b *SparseBuilder) Build() *Sparse {
 		Idx: make([]int32, 0, len(b.m)),
 		Val: make([]float64, 0, len(b.m)),
 	}
+	b.BuildInto(s)
+	return s
+}
+
+// BuildInto fills dst with the sorted sparse vector, reusing dst's backing
+// slices, and resets the builder in place (the map is cleared, not
+// reallocated). Entries that cancelled to exactly zero are dropped. This is
+// the allocation-free variant of Build for the serve hot path.
+func (b *SparseBuilder) BuildInto(dst *Sparse) {
+	dst.Idx = dst.Idx[:0]
+	dst.Val = dst.Val[:0]
 	for idx := range b.m {
-		s.Idx = append(s.Idx, idx)
+		dst.Idx = append(dst.Idx, idx)
 	}
 	// Insertion sort is fine for the few hundred features a prompt produces,
 	// but prompts can reach a few thousand; use the stdlib sort.
-	sortInt32(s.Idx)
-	for _, idx := range s.Idx {
-		s.Val = append(s.Val, b.m[idx])
+	sortInt32(dst.Idx)
+	for _, idx := range dst.Idx {
+		dst.Val = append(dst.Val, b.m[idx])
 	}
 	// Drop exact zeros (rare sign-hash cancellations).
 	k := 0
-	for i := range s.Idx {
-		if s.Val[i] != 0 {
-			s.Idx[k] = s.Idx[i]
-			s.Val[k] = s.Val[i]
+	for i := range dst.Idx {
+		if dst.Val[i] != 0 {
+			dst.Idx[k] = dst.Idx[i]
+			dst.Val[k] = dst.Val[i]
 			k++
 		}
 	}
-	s.Idx = s.Idx[:k]
-	s.Val = s.Val[:k]
-	b.m = make(map[int32]float64)
-	return s
+	dst.Idx = dst.Idx[:k]
+	dst.Val = dst.Val[:k]
+	b.Reset()
+}
+
+// Reset clears the accumulated contributions without releasing the map.
+func (b *SparseBuilder) Reset() {
+	clear(b.m)
+}
+
+// DenseBuilder is SparseBuilder's dense-scratch twin for a long-lived owner:
+// contributions accumulate into a dim-sized array with a generation stamp per
+// slot, so Add is two array writes instead of a map insert, and BuildInto
+// sorts a plain touched-index list instead of iterating a map. Accumulation
+// at each index happens in Add-call order starting from an explicit zero —
+// exactly the map's zero-value semantics — so the produced vectors are
+// bit-identical to SparseBuilder's. The dense scratch costs 12 bytes per
+// dimension, so this type is for persistent builders (one per Encoder, per
+// encoder pool slot); per-call code keeps using SparseBuilder.
+type DenseBuilder struct {
+	val     []float64
+	gen     []uint32
+	cur     uint32
+	touched []int32
+}
+
+// NewDenseBuilder returns an empty builder over [0, dim) indices.
+func NewDenseBuilder(dim int) *DenseBuilder {
+	return &DenseBuilder{val: make([]float64, dim), gen: make([]uint32, dim), cur: 1}
+}
+
+// Add accumulates v at index idx.
+func (b *DenseBuilder) Add(idx int32, v float64) {
+	if b.gen[idx] != b.cur {
+		b.gen[idx] = b.cur
+		// Start from an explicit 0 + v so a -0 contribution lands as +0,
+		// matching the map builder's zero-value accumulation bit for bit.
+		b.val[idx] = 0
+		b.touched = append(b.touched, idx)
+	}
+	b.val[idx] += v
+}
+
+// Len returns the number of distinct indices accumulated so far.
+func (b *DenseBuilder) Len() int { return len(b.touched) }
+
+// BuildInto fills dst with the sorted sparse vector, reusing dst's backing
+// slices, and resets the builder in O(touched). Entries that cancelled to
+// exactly zero are dropped, as in SparseBuilder.BuildInto.
+func (b *DenseBuilder) BuildInto(dst *Sparse) {
+	sortInt32(b.touched)
+	dst.Idx = dst.Idx[:0]
+	dst.Val = dst.Val[:0]
+	for _, idx := range b.touched {
+		if v := b.val[idx]; v != 0 {
+			dst.Idx = append(dst.Idx, idx)
+			dst.Val = append(dst.Val, v)
+		}
+	}
+	b.Reset()
+}
+
+// Reset drops the accumulated contributions by bumping the generation stamp;
+// the dense arrays are reused, not cleared.
+func (b *DenseBuilder) Reset() {
+	b.touched = b.touched[:0]
+	b.cur++
+	if b.cur == 0 { // stamp wrapped: invalidate every slot the slow way
+		clear(b.gen)
+		b.cur = 1
+	}
 }
 
 func sortInt32(a []int32) {

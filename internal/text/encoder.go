@@ -1,0 +1,219 @@
+package text
+
+import (
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/tensor"
+)
+
+// This file is the zero-allocation twin of the Hasher feature extractors.
+// Hasher.Encode allocates on every call — a fresh builder map, a token
+// string per word, and a concatenated string per n-gram ("u:"+t, "b:"+a+" "+b)
+// just to feed FNV. On the serve hot path those concatenations dominate the
+// allocation profile, so Encoder streams the same byte sequences through the
+// same FNV-1a state instead: hash("u:"+t) == fnvAddBytes(fnvAddString(h,"u:"),t)
+// by construction, and feature-emission ORDER is kept identical to the Hasher
+// methods so duplicate-bucket float accumulation sums in the same order.
+// The result is bit-identical to Hasher.Encode — pinned by the equivalence
+// and fuzz tests — with zero steady-state allocations.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvAddString folds s into an in-flight FNV-1a state.
+func fnvAddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// fnvAddBytes folds p into an in-flight FNV-1a state.
+func fnvAddBytes(h uint64, p []byte) uint64 {
+	for _, c := range p {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// fnvAddLower folds the UTF-8 encoding of unicode.ToLower of each rune of s
+// into the state — equivalent to fnvAddString(h, strings.ToLower(s)) without
+// materializing the lowered string.
+func fnvAddLower(h uint64, s string) uint64 {
+	for _, r := range s {
+		r = unicode.ToLower(r)
+		if r < utf8.RuneSelf {
+			h ^= uint64(byte(r))
+			h *= fnvPrime
+			continue
+		}
+		var buf [4]byte
+		n := utf8.EncodeRune(buf[:], r)
+		h = fnvAddBytes(h, buf[:n])
+	}
+	return h
+}
+
+// addHashed is addFeature after the hash: bucket + sign from a finished
+// FNV-1a state.
+func (h *Hasher) addHashed(b *tensor.SparseBuilder, hv uint64, w float64) {
+	idx := int32(hv & uint64(h.dim-1))
+	if hv&(1<<62) != 0 {
+		w = -w
+	}
+	b.Add(idx, w)
+}
+
+// addHashedDense is addHashed against the Encoder's dense builder — same
+// bucket, same sign flip, different accumulator.
+func (h *Hasher) addHashedDense(b *tensor.DenseBuilder, hv uint64, w float64) {
+	idx := int32(hv & uint64(h.dim-1))
+	if hv&(1<<62) != 0 {
+		w = -w
+	}
+	b.Add(idx, w)
+}
+
+// tokSpan is one token as a [lo,hi) byte range into Encoder.low.
+type tokSpan struct{ lo, hi int32 }
+
+// Encoder hashes weighted text segments into sparse vectors without
+// per-call allocation. It owns a reused lowered-byte buffer, token span
+// list, and sparse builder; one Encoder serves one goroutine (on the serve
+// path the per-adapter batcher is the serialization point).
+type Encoder struct {
+	h     *Hasher
+	b     *tensor.DenseBuilder
+	low   []byte
+	spans []tokSpan
+}
+
+// NewEncoder returns an Encoder producing vectors bit-identical to h.Encode.
+// The dense builder trades 12 bytes per hash dimension of resident scratch
+// for map-free accumulation — the right trade for a persistent per-goroutine
+// encoder, which is the only way Encoders are used.
+func NewEncoder(h *Hasher) *Encoder {
+	return &Encoder{h: h, b: tensor.NewDenseBuilder(h.dim)}
+}
+
+// EncodeTo builds the normalized sparse encoding of segs into dst, reusing
+// dst's backing slices. The output is bit-identical to h.Encode(segs...).
+func (e *Encoder) EncodeTo(dst *tensor.Sparse, segs []Segment) {
+	for i := range segs {
+		seg := &segs[i]
+		switch {
+		case seg.Isolated:
+			e.isolatedFeatures(seg.Field, seg.Text, seg.Weight)
+		case seg.Field != "":
+			e.fieldFeatures(seg.Field, seg.Text, seg.Weight)
+		default:
+			e.features(seg.Text, seg.Weight)
+		}
+	}
+	e.b.BuildInto(dst)
+	dst.Normalize()
+}
+
+// tokenize fills e.low/e.spans with the lowered tokens of s, reproducing
+// Tokenize byte for byte: runs of letters/digits form tokens, every other
+// non-space rune is a single-rune token. Lowering per rune matches
+// strings.ToLower (which is strings.Map(unicode.ToLower, s)).
+func (e *Encoder) tokenize(s string) {
+	e.low = e.low[:0]
+	e.spans = e.spans[:0]
+	start := -1
+	for _, r := range s {
+		r = unicode.ToLower(r)
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			if start < 0 {
+				start = len(e.low)
+			}
+			e.low = utf8.AppendRune(e.low, r)
+		case unicode.IsSpace(r):
+			if start >= 0 {
+				e.spans = append(e.spans, tokSpan{int32(start), int32(len(e.low))})
+				start = -1
+			}
+		default:
+			if start >= 0 {
+				e.spans = append(e.spans, tokSpan{int32(start), int32(len(e.low))})
+				start = -1
+			}
+			lo := len(e.low)
+			e.low = utf8.AppendRune(e.low, r)
+			e.spans = append(e.spans, tokSpan{int32(lo), int32(len(e.low))})
+		}
+	}
+	if start >= 0 {
+		e.spans = append(e.spans, tokSpan{int32(start), int32(len(e.low))})
+	}
+}
+
+// tok returns token i's bytes.
+func (e *Encoder) tok(i int) []byte {
+	sp := e.spans[i]
+	return e.low[sp.lo:sp.hi]
+}
+
+// features mirrors Hasher.Features: unigrams, adjacent bigrams, character
+// trigrams of long tokens — same order, same weights.
+func (e *Encoder) features(s string, w float64) {
+	e.tokenize(s)
+	for i := range e.spans {
+		t := e.tok(i)
+		e.h.addHashedDense(e.b, fnvAddBytes(fnvAddString(fnvOffset, "u:"), t), w)
+		if i > 0 {
+			hv := fnvAddBytes(fnvAddString(fnvOffset, "b:"), e.tok(i-1))
+			hv = fnvAddString(hv, " ")
+			e.h.addHashedDense(e.b, fnvAddBytes(hv, t), w)
+		}
+		if len(t) > 3 {
+			for j := 0; j+3 <= len(t); j++ {
+				e.h.addHashedDense(e.b, fnvAddBytes(fnvAddString(fnvOffset, "c:"), t[j:j+3]), w/2)
+			}
+		}
+	}
+}
+
+// fieldFeatures mirrors Hasher.FieldFeatures: prefixed unigrams and bigrams
+// under "f:"+lower(field)+":", then the bare features at half weight.
+func (e *Encoder) fieldFeatures(field, value string, w float64) {
+	pre := fnvAddString(fnvOffset, "f:")
+	pre = fnvAddLower(pre, field)
+	pre = fnvAddString(pre, ":")
+	e.tokenize(value)
+	for i := range e.spans {
+		t := e.tok(i)
+		e.h.addHashedDense(e.b, fnvAddBytes(pre, t), w)
+		if i > 0 {
+			hv := fnvAddBytes(pre, e.tok(i-1))
+			hv = fnvAddString(hv, " ")
+			e.h.addHashedDense(e.b, fnvAddBytes(hv, t), w)
+		}
+	}
+	e.features(value, w/2)
+}
+
+// isolatedFeatures mirrors Hasher.IsolatedFeatures: prefixed unigrams and
+// bigrams under "iso:"+ns+":" with no bare tokens.
+func (e *Encoder) isolatedFeatures(ns, s string, w float64) {
+	pre := fnvAddString(fnvOffset, "iso:")
+	pre = fnvAddString(pre, ns)
+	pre = fnvAddString(pre, ":")
+	e.tokenize(s)
+	for i := range e.spans {
+		t := e.tok(i)
+		e.h.addHashedDense(e.b, fnvAddBytes(pre, t), w)
+		if i > 0 {
+			hv := fnvAddBytes(pre, e.tok(i-1))
+			hv = fnvAddString(hv, " ")
+			e.h.addHashedDense(e.b, fnvAddBytes(hv, t), w)
+		}
+	}
+}

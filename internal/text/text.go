@@ -45,27 +45,13 @@ func (h *Hasher) Dim() int { return h.dim }
 // fnv1a is the 64-bit FNV-1a hash, inlined so feature extraction allocates
 // nothing per n-gram.
 func fnv1a(s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	var hash uint64 = offset
-	for i := 0; i < len(s); i++ {
-		hash ^= uint64(s[i])
-		hash *= prime
-	}
-	return hash
+	return fnvAddString(fnvOffset, s)
 }
 
 // addFeature hashes s into the builder with weight w, using one bit of the
 // hash as a sign to make hashing approximately inner-product preserving.
 func (h *Hasher) addFeature(b *tensor.SparseBuilder, s string, w float64) {
-	hv := fnv1a(s)
-	idx := int32(hv & uint64(h.dim-1))
-	if hv&(1<<62) != 0 {
-		w = -w
-	}
-	b.Add(idx, w)
+	h.addHashed(b, fnv1a(s), w)
 }
 
 // Tokenize lower-cases s and splits it into word tokens. Runs of letters or

@@ -26,9 +26,18 @@
 # goroutine leak, no unbounded heap growth), self-diff to zero regressions,
 # and fail (exit 1) against a doctored timeline with inflated goroutine and
 # heap readings — the perf-regression sentinel. The CPU profile must be
-# valid pprof, BENCH_serve.json (schema 3) must carry the resources
+# valid pprof, BENCH_serve.json (schema 4) must carry the resources
 # section, and `obs diff` must accept serve docs: clean on self, exit 1
 # when bytes/op is doctored 10x.
+# A batching gate then sweeps the batched forward's configurations: pinned
+# -serial-predict, -max-batch 1 (degenerate single-request batches), and a
+# 30% seeded fault rate must all pass the selftest (answer mismatches are
+# fatal inside it at any fault rate), and a warm batched run must allocate
+# strictly fewer bytes per request than the warm serial oracle. Finally an
+# allocation gate runs the ServePredict benchmark pair, requires the
+# batched forward to be >= 2x faster than the serial loop, and diffs the
+# measured ns/bytes/allocs per op against the committed BENCH_allocs.json
+# baseline via `knowtrans obs diff`.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -268,11 +277,11 @@ go tool pprof -raw "$tmp/serve.cpu.pprof" >/dev/null 2>&1 || {
 	exit 1
 }
 
-# BENCH_serve.json schema 3 carries the resources section, and obs diff
+# BENCH_serve.json schema 4 carries the resources section, and obs diff
 # understands serve docs: clean against itself, exit 1 when bytes/op is
 # doctored an order of magnitude worse.
-grep -q '"schema_version": 3' "$tmp/serve.json" || {
-	echo "check.sh: BENCH_serve.json is not schema 3" >&2
+grep -q '"schema_version": 4' "$tmp/serve.json" || {
+	echo "check.sh: BENCH_serve.json is not schema 4" >&2
 	exit 1
 }
 grep -q '"bytes_per_op"' "$tmp/serve.json" || {
@@ -302,4 +311,107 @@ if [ "$rc" != 2 ]; then
 	exit 1
 fi
 echo "check.sh: tier-2 profiling gate passed"
+
+# --- tier-2: batching gate ---------------------------------------------------
+# The batched forward must answer byte-identically to the direct path in
+# every configuration the batcher can reach. The selftest makes answer
+# mismatches fatal at any fault rate, so each PASS below is an equivalence
+# proof for its configuration; the main serve gate above already covered
+# the default batched configuration, and its verdicts pin that every
+# drained batch rode the batched forward.
+
+# Degenerate batches: -max-batch 1 drains single-request batches through
+# the same batched entry point.
+"$tmp/knowtrans" serve -selftest -scale 0.05 -seed 7 \
+	-selftest-requests 128 -selftest-concurrency 32 -selftest-adapters 2 \
+	-max-batch 1 -bench "$tmp/serve.mb1.json" >"$tmp/serve.mb1.out" || {
+	echo "check.sh: serve selftest with -max-batch 1 failed:" >&2
+	cat "$tmp/serve.mb1.out" >&2
+	exit 1
+}
+
+# Chaos: a 30% seeded fault rate must degrade availability, never
+# correctness — the served answers still match the equally-faulted direct
+# path and cold starts still coalesce.
+"$tmp/knowtrans" serve -selftest -scale 0.05 -seed 7 \
+	-selftest-requests 128 -selftest-concurrency 32 -selftest-adapters 2 \
+	-faults rate=0.3,seed=9 -bench "$tmp/serve.chaos.json" >"$tmp/serve.chaos.out" || {
+	echo "check.sh: serve selftest under 30% faults failed:" >&2
+	cat "$tmp/serve.chaos.out" >&2
+	exit 1
+}
+
+# Warm pair: pre-warming the adapters takes cold-start Transfers out of
+# the measured bracket, so the per-request allocation numbers compare the
+# serving paths themselves. The batched path must allocate strictly fewer
+# bytes per request than the serial oracle.
+"$tmp/knowtrans" serve -selftest -scale 0.05 -seed 7 -selftest-warm \
+	-serial-predict -bench "$tmp/serve.warm-serial.json" >"$tmp/serve.ws.out" || {
+	echo "check.sh: warm serial selftest failed:" >&2
+	cat "$tmp/serve.ws.out" >&2
+	exit 1
+}
+"$tmp/knowtrans" serve -selftest -scale 0.05 -seed 7 -selftest-warm \
+	-bench "$tmp/serve.warm.json" >"$tmp/serve.wb.out" || {
+	echo "check.sh: warm batched selftest failed:" >&2
+	cat "$tmp/serve.wb.out" >&2
+	exit 1
+}
+grep -q '"warmed": true' "$tmp/serve.warm.json" || {
+	echo "check.sh: warm run's BENCH_serve.json does not record warmed: true" >&2
+	exit 1
+}
+bser=$(sed -n 's/^ *"bytes_per_op": \([0-9.eE+-]*\),\{0,1\}$/\1/p' "$tmp/serve.warm-serial.json" | head -1)
+bbat=$(sed -n 's/^ *"bytes_per_op": \([0-9.eE+-]*\),\{0,1\}$/\1/p' "$tmp/serve.warm.json" | head -1)
+if [ -z "$bser" ] || [ -z "$bbat" ]; then
+	echo "check.sh: warm serve docs lack bytes_per_op (serial '$bser', batched '$bbat')" >&2
+	exit 1
+fi
+ok=$(awk -v s="$bser" -v b="$bbat" 'BEGIN { print (b < s) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+	echo "check.sh: warm batched run allocates $bbat B/op, not below serial's $bser" >&2
+	exit 1
+fi
+echo "check.sh: tier-2 batching gate passed (warm B/op: batched $bbat vs serial $bser)"
+
+# --- tier-2: allocation gate -------------------------------------------------
+# The ServePredict benchmark pair answers the same 8-instance micro-batch
+# through the batched forward and the serial loop. The batched side must be
+# at least 2x faster, and the measured time/bytes/allocs per op must stay
+# within tolerance of the committed BENCH_allocs.json baseline (the rel-tol
+# absorbs machine-to-machine time variance; the 2x ratio gate is
+# machine-independent).
+go test -run '^$' -bench 'ServePredict' -benchmem . >"$tmp/bench.out" || {
+	echo "check.sh: ServePredict benchmarks failed:" >&2
+	cat "$tmp/bench.out" >&2
+	exit 1
+}
+awk '
+	$1 ~ /^BenchmarkServePredict(-|$)/       { bt=$3; bb=$5; ba=$7 }
+	$1 ~ /^BenchmarkServePredictSerial(-|$)/ { st=$3; sb=$5; sa=$7 }
+	END {
+		if (bt == "" || st == "") { print "missing benchmark lines" > "/dev/stderr"; exit 1 }
+		printf "{\n  \"schema_version\": 1,\n  \"report\": {\n"
+		printf "    \"batched_time_ns\": %s,\n    \"batched_bytes_per_op\": %s,\n    \"batched_allocs_per_op\": %s,\n", bt, bb, ba
+		printf "    \"serial_time_ns\": %s,\n    \"serial_bytes_per_op\": %s,\n    \"serial_allocs_per_op\": %s,\n", st, sb, sa
+		printf "    \"batch_speedup_x\": %.3f\n  }\n}\n", st / bt
+	}
+' "$tmp/bench.out" >"$tmp/allocs.json" || {
+	echo "check.sh: could not parse benchmark output:" >&2
+	cat "$tmp/bench.out" >&2
+	exit 1
+}
+speedup=$(sed -n 's/^ *"batch_speedup_x": \([0-9.]*\).*/\1/p' "$tmp/allocs.json")
+ok=$(awk -v x="$speedup" 'BEGIN { print (x >= 2.0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+	echo "check.sh: batched forward is only ${speedup}x the serial loop, want >= 2x:" >&2
+	cat "$tmp/bench.out" >&2
+	exit 1
+fi
+"$tmp/knowtrans" obs diff BENCH_allocs.json "$tmp/allocs.json" -rel-tol 0.5 >/dev/null || {
+	echo "check.sh: allocation gate regressed vs committed BENCH_allocs.json:" >&2
+	"$tmp/knowtrans" obs diff BENCH_allocs.json "$tmp/allocs.json" -rel-tol 0.5 >&2 || true
+	exit 1
+}
+echo "check.sh: tier-2 allocation gate passed (batched ${speedup}x serial)"
 echo "check.sh: all gates passed"
