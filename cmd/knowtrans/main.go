@@ -61,6 +61,8 @@ func main() {
 		runTransfer(os.Args[2:])
 	case "serve":
 		runServe(os.Args[2:])
+	case "route":
+		runRoute(os.Args[2:])
 	case "obs":
 		runObs(os.Args[2:])
 	default:
@@ -82,6 +84,12 @@ func usage() {
                   [-slow D] [obs flags]
   knowtrans serve -selftest [-selftest-requests N] [-selftest-concurrency N]
                   [-selftest-adapters N] [-bench BENCH_serve.json]
+  knowtrans route -backends URL,URL,... [-addr HOST:PORT] [-replication N]
+                  [-probe-interval D] [-fail-threshold N] [-hedge-delay D]
+                  [-retry-budget N] [-drain-timeout D] [obs flags]
+  knowtrans route -selftest [-selftest-backends N] [-selftest-requests N]
+                  [-selftest-concurrency N] [-selftest-adapters N] [-scale S]
+                  [-faults SPEC] [-bench BENCH_cluster.json]
   knowtrans obs trace FILE.jsonl [-top N] [-json] [-trace-id ID] [-follow]
   knowtrans obs top [-url URL] [-interval D] [-n N] [-once]
   knowtrans obs diff A.json B.json [-rel-tol F] [-strict] [-json]

@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -38,6 +40,9 @@ func runServe(args []string) {
 		"force per-request Predict even for batch-capable adapters (the serial oracle path the batched path is gated against)")
 	reqTimeout := fs.Duration("timeout", 60*time.Second, "per-request deadline")
 	transferTimeout := fs.Duration("transfer-timeout", 0, "cold-start Transfer bound (0 = unbounded)")
+	maxInflight := fs.Int("max-inflight", 0, "shed predicts with 429 + Retry-After past this many in flight (0 = unlimited)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
+		"how long SIGTERM waits for in-flight requests before the process exits anyway")
 	faultSpec := fs.String("faults", "",
 		"inject oracle faults during Transfers, `spec` rate=R,seed=S[,kinds=a+b][,latency=D]")
 	accessLog := fs.String("access-log", "-",
@@ -102,6 +107,7 @@ func runServe(args []string) {
 		SerialPredict:   *serialPredict,
 		RequestTimeout:  *reqTimeout,
 		TransferTimeout: *transferTimeout,
+		MaxInflight:     *maxInflight,
 		Rec:             rec,
 		AccessLog:       logger,
 		SlowRequest:     *slowReq,
@@ -134,13 +140,57 @@ func runServe(args []string) {
 		return
 	}
 
-	fmt.Printf("knowtrans serve on http://%s (scale=%.2f seed=%d max-adapters=%d max-batch=%d batch-wait=%s)\n",
-		*addr, *scale, *seed, *maxAdapters, *maxBatch, *maxWait)
-	fmt.Printf("endpoints: POST /v1/predict  POST+GET /v1/adapters  GET /healthz /metrics /metrics.json\n")
-	fmt.Printf("adapter keys: %d downstream datasets (GET /v1/adapters after a warm, or `knowtrans list`)\n",
-		len(z.DownstreamKeys()))
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	err = serveWithDrain(*addr, srv, *drainTimeout, func(bound net.Addr) {
+		// The bound address is printed first and alone on its line: the
+		// cluster selftest spawns backends on 127.0.0.1:0 and parses this
+		// line for the kernel-assigned port.
+		fmt.Printf("knowtrans serve on http://%s (scale=%.2f seed=%d max-adapters=%d max-batch=%d batch-wait=%s)\n",
+			bound, *scale, *seed, *maxAdapters, *maxBatch, *maxWait)
+		fmt.Printf("endpoints: POST /v1/predict  POST+GET /v1/adapters  GET /healthz /readyz /metrics /metrics.json\n")
+		fmt.Printf("adapter keys: %d downstream datasets (GET /v1/adapters after a warm, or `knowtrans list`)\n",
+			len(z.DownstreamKeys()))
+	})
+	if err != nil {
 		fatal(err)
+	}
+	if err := finish(); err != nil {
+		fatal(err)
+	}
+}
+
+// serveWithDrain binds addr, announces the bound address, and serves srv
+// until a fatal listener error or a shutdown signal. On SIGTERM/SIGINT the
+// server drains instead of dying mid-request: /readyz flips to 503 so
+// routers stop sending traffic, new predicts are shed, the listener
+// closes, and in-flight requests get drainTimeout to finish. A nil return
+// means a clean drain — the caller flushes telemetry and exits 0, which is
+// what lets an operator (or orchestrator) restart a backend without
+// failing a single request.
+func serveWithDrain(addr string, srv *serve.Server, drainTimeout time.Duration, announce func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	announce(ln.Addr())
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("knowtrans: %s — draining (in-flight requests get %s)\n", sig, drainTimeout)
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Println("knowtrans: drained clean")
+		return nil
 	}
 }
 

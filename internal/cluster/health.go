@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// probeLoop is one backend's health checker: GET /readyz every
+// ProbeInterval (with seeded jitter so a fleet of probes never beats in
+// lockstep), exponential backoff while the backend is failing, ejection
+// after FailThreshold consecutive failures, rejoin on the first success.
+// Probing /readyz — not /healthz — is what makes a drain graceful: a
+// draining backend flips to 503 and leaves the rotation while the process
+// stays alive to finish its in-flight batches.
+func (r *Router) probeLoop(b *backendState, seed int64) {
+	defer r.wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		r.probe(b)
+		iv := r.opts.ProbeInterval
+		if b.probeFails > 0 {
+			// Exponential backoff while failing, capped at 8× the base: a
+			// dead backend gets probed often enough to rejoin promptly
+			// without being hammered.
+			shift := b.probeFails
+			if shift > 3 {
+				shift = 3
+			}
+			iv <<= shift
+		}
+		// Seeded jitter in [iv/2, 3iv/2): deterministic per (Seed, backend).
+		d := iv/2 + time.Duration(rng.Int63n(int64(iv)))
+		select {
+		case <-time.After(d):
+		case <-r.stopc:
+			return
+		}
+	}
+}
+
+// probe runs one /readyz round trip and applies the verdict.
+func (r *Router) probe(b *backendState) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.ProbeTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/readyz", nil)
+	if err == nil {
+		resp, derr := r.client.Do(req)
+		if derr == nil {
+			var rr serve.ReadyResponse
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&rr) == nil && rr.OK {
+				ok = true
+				b.resident.Store(int64(rr.Resident))
+			}
+			resp.Body.Close()
+		}
+	}
+	if ok {
+		b.probeFails = 0
+		if !b.healthy.Swap(true) {
+			r.rejoins.Add(1)
+			r.rec.Count("cluster.rejoins", 1)
+			r.rec.SetGauge("cluster.backend_healthy/"+b.url, 1)
+			r.rec.Event("cluster.rejoin", "backend", b.url)
+		}
+	} else {
+		b.probeFails++
+		if b.probeFails >= r.opts.FailThreshold && b.healthy.Swap(false) {
+			b.ejections.Add(1)
+			r.ejections.Add(1)
+			r.rec.Count("cluster.ejections", 1)
+			r.rec.SetGauge("cluster.backend_healthy/"+b.url, 0)
+			r.rec.Event("cluster.eject", "backend", b.url, "probe_fails", b.probeFails)
+		}
+	}
+	healthy := 0
+	for _, bb := range r.order {
+		if bb.healthy.Load() {
+			healthy++
+		}
+	}
+	r.rec.SetGauge("cluster.backends_healthy", float64(healthy))
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwnersDistinctAndDeterministic(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r1 := NewRing(backends, 64)
+	r2 := NewRing([]string{"http://c", "http://a", "http://b"}, 64) // order must not matter
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("EM/dataset-%d", i)
+		owners := r1.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("Owners(%q) = %v, want 2 distinct", key, owners)
+		}
+		if got := r2.Owners(key, 2); !reflect.DeepEqual(got, owners) {
+			t.Fatalf("placement depends on construction order: %v vs %v", owners, got)
+		}
+		if got := r1.Owners(key, 2); !reflect.DeepEqual(got, owners) {
+			t.Fatalf("Owners not deterministic: %v vs %v", owners, got)
+		}
+	}
+	// Replication clamps to the backend count.
+	if got := r1.Owners("EM/x", 99); len(got) != 3 {
+		t.Fatalf("Owners clamp: %v, want all 3", got)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(backends, 64)
+	counts := map[string]int{}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		counts[r.Owners(fmt.Sprintf("EM/dataset-%d", i), 1)[0]]++
+	}
+	for _, b := range backends {
+		if counts[b] < n/10 {
+			t.Fatalf("backend %s owns only %d/%d keys — ring badly unbalanced: %v", b, counts[b], n, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one backend only moves keys it
+// owned — the consistent-hashing contract that keeps a death from
+// invalidating the whole fleet's caches.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := NewRing([]string{"http://a", "http://b", "http://c"}, 64)
+	without := NewRing([]string{"http://a", "http://c"}, 64)
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("EM/dataset-%d", i)
+		before := full.Owners(key, 1)[0]
+		after := without.Owners(key, 1)[0]
+		if before == "http://b" {
+			moved++
+			continue // had to move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %q moved from %s to %s though its owner survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}

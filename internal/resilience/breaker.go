@@ -1,0 +1,135 @@
+package resilience
+
+import "sync"
+
+// BreakerConfig parameterizes a Breaker. The zero value gets the same
+// defaults as Policy: trip after 5 consecutive failures, reject 3 calls
+// while open, close after 2 half-open probe successes. Threshold < 0
+// disables the breaker entirely (Allow always admits).
+type BreakerConfig struct {
+	// Threshold is the run of consecutive failures that trips the breaker
+	// open (default 5; <0 disables).
+	Threshold int
+	// Cooldown is how many short-circuited calls the open breaker rejects
+	// before letting a half-open probe through (default 3). Cooling down by
+	// call count instead of wall time keeps seeded runs deterministic at
+	// any speed.
+	Cooldown int
+	// Probes is the run of consecutive probe successes that closes a
+	// half-open breaker (default 2). Any probe failure reopens it.
+	Probes int
+	// OnState, when non-nil, observes every state change. OnTrip, when
+	// non-nil, fires on each closed/half-open → open transition. Both are
+	// invoked with the breaker's lock held and must not call back into it.
+	OnState func(State)
+	OnTrip  func()
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3
+	}
+	if c.Probes <= 0 {
+		c.Probes = 2
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker (closed → open on consecutive
+// failures → half-open probes → closed), factored out of ResilientOracle
+// so the serving tier can run one per backend. Callers bracket each
+// protected call with Allow / Success-or-Failure. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       State
+	consecFails int
+	cooldown    int // rejected calls remaining before half-open
+	probesLeft  int // successes remaining to close from half-open
+}
+
+// NewBreaker returns a closed breaker with the given config.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow gates one call. It returns ErrBreakerOpen while the breaker is
+// cooling down; once the cooldown is spent the next call is admitted as a
+// half-open probe.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.Threshold <= 0 || b.state != StateOpen {
+		return nil
+	}
+	b.cooldown--
+	if b.cooldown > 0 {
+		return ErrBreakerOpen
+	}
+	// Cooled down: let this call through as a half-open probe.
+	b.setState(StateHalfOpen)
+	b.probesLeft = b.cfg.Probes
+	return nil
+}
+
+// Success records a successful call, resetting the failure run and
+// closing the breaker once enough half-open probes have succeeded.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	if b.state == StateHalfOpen {
+		b.probesLeft--
+		if b.probesLeft <= 0 {
+			b.setState(StateClosed)
+		}
+	}
+}
+
+// Failure records a failed call. A failed half-open probe reopens the
+// breaker immediately; Threshold consecutive failures trip it from closed.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.consecFails++
+	switch {
+	case b.state == StateHalfOpen:
+		b.trip()
+	case b.state == StateClosed && b.consecFails >= b.cfg.Threshold:
+		b.trip()
+	}
+}
+
+// trip opens the breaker and arms the cooldown (callers hold b.mu).
+func (b *Breaker) trip() {
+	b.setState(StateOpen)
+	b.cooldown = b.cfg.Cooldown
+	if b.cfg.OnTrip != nil {
+		b.cfg.OnTrip()
+	}
+}
+
+// setState records a state change (callers hold b.mu).
+func (b *Breaker) setState(s State) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.cfg.OnState != nil {
+		b.cfg.OnState(s)
+	}
+}

@@ -145,21 +145,30 @@ func (p Policy) withDefaults() Policy {
 type ResilientOracle struct {
 	inner akb.FallibleOracle
 	p     Policy
+	br    *Breaker
 
-	mu          sync.Mutex
-	rng         *rand.Rand
-	state       State
-	consecFails int
-	cooldown    int // rejected calls remaining before half-open
-	probesLeft  int // successes remaining to close from half-open
-	calls       int
-	prevDelay   time.Duration
+	mu        sync.Mutex
+	rng       *rand.Rand
+	calls     int
+	prevDelay time.Duration
 }
 
 // New returns a resilient client around inner with the given policy.
 func New(inner akb.FallibleOracle, p Policy) *ResilientOracle {
 	p = p.withDefaults()
 	r := &ResilientOracle{inner: inner, p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	r.br = NewBreaker(BreakerConfig{
+		Threshold: p.BreakerThreshold,
+		Cooldown:  p.BreakerCooldown,
+		Probes:    p.HalfOpenProbes,
+		OnState: func(s State) {
+			p.Rec.SetGauge("resilience.breaker_state", float64(s))
+			p.Rec.Event("resilience.breaker", "state", s.String())
+		},
+		OnTrip: func() {
+			p.Rec.Count("resilience.breaker_trips", 1)
+		},
+	})
 	p.Rec.SetGauge("resilience.breaker_state", float64(StateClosed))
 	return r
 }
@@ -168,9 +177,7 @@ var _ akb.FallibleOracle = (*ResilientOracle)(nil)
 
 // State returns the breaker's current state.
 func (r *ResilientOracle) State() State {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.state
+	return r.br.State()
 }
 
 // Calls returns the number of attempts issued to the inner oracle.
@@ -295,62 +302,20 @@ func (r *ResilientOracle) admit(rec *obs.Recorder) error {
 			}
 		}
 	}
-	if r.p.BreakerThreshold > 0 && r.state == StateOpen {
-		r.cooldown--
-		if r.cooldown > 0 {
-			rec.Count("resilience.breaker_rejected", 1)
-			return ErrBreakerOpen
-		}
-		// Cooled down: let this attempt through as a half-open probe.
-		r.setState(rec, StateHalfOpen)
-		r.probesLeft = r.p.HalfOpenProbes
+	if err := r.br.Allow(); err != nil {
+		rec.Count("resilience.breaker_rejected", 1)
+		return err
 	}
 	r.calls++
 	return nil
 }
 
 func (r *ResilientOracle) onSuccess(rec *obs.Recorder) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.consecFails = 0
-	if r.state == StateHalfOpen {
-		r.probesLeft--
-		if r.probesLeft <= 0 {
-			r.setState(rec, StateClosed)
-		}
-	}
+	r.br.Success()
 }
 
 func (r *ResilientOracle) onFailure(rec *obs.Recorder) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.p.BreakerThreshold <= 0 {
-		return
-	}
-	r.consecFails++
-	switch {
-	case r.state == StateHalfOpen:
-		// A failed probe reopens immediately.
-		r.trip(rec)
-	case r.state == StateClosed && r.consecFails >= r.p.BreakerThreshold:
-		r.trip(rec)
-	}
-}
-
-func (r *ResilientOracle) trip(rec *obs.Recorder) {
-	r.setState(rec, StateOpen)
-	r.cooldown = r.p.BreakerCooldown
-	rec.Count("resilience.breaker_trips", 1)
-}
-
-// setState records a state change (callers hold r.mu).
-func (r *ResilientOracle) setState(rec *obs.Recorder, s State) {
-	if r.state == s {
-		return
-	}
-	r.state = s
-	rec.SetGauge("resilience.breaker_state", float64(s))
-	rec.Event("resilience.breaker", "state", s.String())
+	r.br.Failure()
 }
 
 // nextDelay draws the decorrelated-jitter backoff: uniform in

@@ -37,6 +37,11 @@ type LoadOptions struct {
 	// independent of worker scheduling). Zero seeds from the clock — IDs are
 	// still sent, just not reproducible across runs.
 	TraceSeed int64
+	// AtCount/OnCount inject a mid-load event: OnCount fires exactly once,
+	// as soon as AtCount requests have completed. The cluster selftest uses
+	// it to SIGKILL a backend while the remaining requests are in flight.
+	AtCount int
+	OnCount func()
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -100,6 +105,7 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 
 	var (
 		next       atomic.Int64
+		completed  atomic.Int64
 		non2xx     atomic.Int64
 		mismatches atomic.Int64
 		cold       atomic.Int64
@@ -117,6 +123,53 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 		mu.Unlock()
 	}
 
+	doItem := func(i int) {
+		it := items[i]
+		body, _ := json.Marshal(PredictRequest{Adapter: it.Key, Instance: it.In})
+		t0 := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			non2xx.Add(1)
+			fail(fmt.Sprintf("build request %d: %v", i, err))
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		sent := traceFor(i)
+		req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(sent))
+		resp, err := client.Do(req)
+		latUs[i] = float64(time.Since(t0).Microseconds())
+		if err != nil {
+			non2xx.Add(1)
+			fail(fmt.Sprintf("request %d (%s): %v", i, it.Key, err))
+			return
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			non2xx.Add(1)
+			fail(fmt.Sprintf("request %d (%s): HTTP %d: %s", i, it.Key, resp.StatusCode, bytes.TrimSpace(payload)))
+			return
+		}
+		if echo, perr := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); perr != nil || echo.Trace != sent.Trace {
+			echoMiss.Add(1)
+			fail(fmt.Sprintf("request %d (%s): traceparent not echoed (sent trace %s, got %q)",
+				i, it.Key, sent.Trace, resp.Header.Get(obs.TraceparentHeader)))
+		}
+		var pr PredictResponse
+		if err := json.Unmarshal(payload, &pr); err != nil {
+			non2xx.Add(1)
+			fail(fmt.Sprintf("request %d (%s): bad response body: %v", i, it.Key, err))
+			return
+		}
+		if pr.Cold {
+			cold.Add(1)
+		}
+		if it.Want != "" && pr.Answer != it.Want {
+			mismatches.Add(1)
+			fail(fmt.Sprintf("request %d (%s): served %q, direct path produced %q", i, it.Key, pr.Answer, it.Want))
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -128,49 +181,9 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 				if i >= len(items) || ctx.Err() != nil {
 					return
 				}
-				it := items[i]
-				body, _ := json.Marshal(PredictRequest{Adapter: it.Key, Instance: it.In})
-				t0 := time.Now()
-				req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/predict", bytes.NewReader(body))
-				if err != nil {
-					non2xx.Add(1)
-					fail(fmt.Sprintf("build request %d: %v", i, err))
-					continue
-				}
-				req.Header.Set("Content-Type", "application/json")
-				sent := traceFor(i)
-				req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(sent))
-				resp, err := client.Do(req)
-				latUs[i] = float64(time.Since(t0).Microseconds())
-				if err != nil {
-					non2xx.Add(1)
-					fail(fmt.Sprintf("request %d (%s): %v", i, it.Key, err))
-					continue
-				}
-				payload, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode/100 != 2 {
-					non2xx.Add(1)
-					fail(fmt.Sprintf("request %d (%s): HTTP %d: %s", i, it.Key, resp.StatusCode, bytes.TrimSpace(payload)))
-					continue
-				}
-				if echo, perr := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); perr != nil || echo.Trace != sent.Trace {
-					echoMiss.Add(1)
-					fail(fmt.Sprintf("request %d (%s): traceparent not echoed (sent trace %s, got %q)",
-						i, it.Key, sent.Trace, resp.Header.Get(obs.TraceparentHeader)))
-				}
-				var pr PredictResponse
-				if err := json.Unmarshal(payload, &pr); err != nil {
-					non2xx.Add(1)
-					fail(fmt.Sprintf("request %d (%s): bad response body: %v", i, it.Key, err))
-					continue
-				}
-				if pr.Cold {
-					cold.Add(1)
-				}
-				if it.Want != "" && pr.Answer != it.Want {
-					mismatches.Add(1)
-					fail(fmt.Sprintf("request %d (%s): served %q, direct path produced %q", i, it.Key, pr.Answer, it.Want))
+				doItem(i)
+				if n := completed.Add(1); opts.OnCount != nil && int(n) == opts.AtCount {
+					opts.OnCount()
 				}
 			}
 		}()

@@ -75,6 +75,9 @@ type Options struct {
 	// RequestTimeout is the per-request deadline the server applies on top
 	// of the client's context. Default 60s; negative disables.
 	RequestTimeout time.Duration
+	// MaxInflight sheds predict requests with 429 + Retry-After once more
+	// than this many HTTP requests are in flight. Default 0: unlimited.
+	MaxInflight int
 	// TransferTimeout bounds one cold-start Transfer. Builds run detached
 	// from the triggering request's context (coalesced waiters must not be
 	// at the mercy of the first requester's deadline), so this is their
@@ -169,6 +172,10 @@ type flight struct {
 }
 
 // NewRegistry builds a registry over a transferer.
+// Registry is the local Resolver: the server can front it directly or
+// front internal/cluster's Router, which resolves over remote registries.
+var _ Resolver = (*Registry)(nil)
+
 func NewRegistry(t Transferer, opts Options) *Registry {
 	opts = opts.withDefaults()
 	return &Registry{

@@ -17,33 +17,37 @@ import (
 	"repro/internal/obs/profile"
 )
 
-// Server is the HTTP face of the service: a mux over the registry plus the
-// live telemetry endpoints. Build one with NewServer and mount it anywhere
-// an http.Handler goes (net/http, httptest, ...).
+// Server is the HTTP face of the service: a mux over a Resolver (the local
+// Registry, or internal/cluster's Router) plus the live telemetry
+// endpoints. Build one with NewServer and mount it anywhere an
+// http.Handler goes (net/http, httptest, ...).
 //
 //	POST /v1/predict   {"adapter": "EM/Walmart-Amazon", "instance": {...}}
 //	POST /v1/adapters  {"key": "EM/Walmart-Amazon"}   (warm: trigger a Transfer)
-//	GET  /v1/adapters  registry snapshot (per-key transfers/hits/misses)
-//	GET  /healthz      liveness + resident-adapter count
+//	GET  /v1/adapters  resolver snapshot (per-key transfers/hits/misses)
+//	GET  /healthz      liveness: process up + build/occupancy context
+//	GET  /readyz       readiness: accepting work (503 while draining/unready)
 //	GET  /metrics      Prometheus text exposition (when a metrics registry is wired)
 //	GET  /metrics.json the same snapshot as JSON
 type Server struct {
-	reg      *Registry
+	res      Resolver
 	opts     Options
 	rec      *obs.Recorder
 	mux      *http.ServeMux
 	start    time.Time
 	revision string
 	inflight atomic.Int64
+	draining atomic.Bool
 }
 
-// NewServer wraps a registry in the HTTP API. opts should be the same
-// options the registry was built with (the server applies RequestTimeout
-// and reports the batching knobs on /healthz).
-func NewServer(reg *Registry, opts Options) *Server {
+// NewServer wraps a resolver in the HTTP API. When fronting a local
+// Registry, opts should be the options the registry was built with (the
+// server applies RequestTimeout and reports the batching knobs on
+// /healthz).
+func NewServer(res Resolver, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		reg:      reg,
+		res:      res,
 		opts:     opts,
 		rec:      opts.Rec,
 		mux:      http.NewServeMux(),
@@ -53,6 +57,7 @@ func NewServer(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/adapters", s.handleAdapters)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	if opts.Rec != nil && opts.Rec.Metrics != nil {
 		reg := opts.Rec.Metrics
 		s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -74,8 +79,22 @@ func NewServer(reg *Registry, opts Options) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Registry returns the adapter registry the server fronts.
-func (s *Server) Registry() *Registry { return s.reg }
+// Resolver returns the resolver the server fronts.
+func (s *Server) Resolver() Resolver { return s.res }
+
+// StartDrain flips the server into draining: /readyz reports 503 so
+// health-checked routers stop sending, and new predict/warm calls shed
+// with 503 + Retry-After while requests already in flight finish. Pair it
+// with http.Server.Shutdown for a zero-loss rolling restart.
+func (s *Server) StartDrain() {
+	if !s.draining.Swap(true) {
+		s.rec.SetGauge("serve.draining", 1)
+		s.rec.Event("serve.drain")
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // WireField / WireInstance are the JSON shape of a data.Instance on the
 // predict endpoint. Gold is deliberately absent: the service answers
@@ -161,6 +180,7 @@ type AdaptersResponse struct {
 // this, how full is it") from one curl.
 type HealthResponse struct {
 	OK        bool    `json:"ok"`
+	Draining  bool    `json:"draining,omitempty"`
 	UptimeS   float64 `json:"uptime_s"`
 	GoVersion string  `json:"go_version"`
 	Revision  string  `json:"revision,omitempty"`
@@ -174,6 +194,15 @@ type HealthResponse struct {
 	Goroutines    int64                 `json:"goroutines"`
 	HeapLiveBytes uint64                `json:"heap_live_bytes"`
 	Sampler       profile.SamplerStatus `json:"sampler"`
+}
+
+// ReadyResponse is the body of GET /readyz. Resident rides along so a
+// router's periodic probe doubles as a cheap occupancy reading.
+type ReadyResponse struct {
+	OK       bool   `json:"ok"`
+	Draining bool   `json:"draining,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	Resident int    `json:"resident"`
 }
 
 // vcsRevision extracts the VCS revision stamped into the binary at build
@@ -216,14 +245,21 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return r.Context(), func() {}
 }
 
-// statusFor maps a registry/transfer error to an HTTP status: unknown keys
-// are the client's fault (404), deadlines are 504, a client that went away
-// is 499 (nginx's convention; net/http has no name for it), everything else
-// is a 502 from the adaptation backend.
+// statusFor maps a resolver/transfer error to an HTTP status: malformed
+// keys are a 400 (no resolver anywhere can serve them), unknown keys a
+// 404, shed load a 429, a draining server a 503, deadlines are 504, a
+// client that went away is 499 (nginx's convention; net/http has no name
+// for it), everything else is a 502 from the adaptation backend.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrBadKey):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownKey):
 		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -231,6 +267,17 @@ func statusFor(err error) int {
 	default:
 		return http.StatusBadGateway
 	}
+}
+
+// writeError renders err with its mapped status. Shed responses (429/503)
+// carry a Retry-After so well-behaved clients and the cluster router back
+// off instead of hammering a server that said "not now".
+func writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 // writeJSON renders one response; status is also recorded on the request
@@ -340,13 +387,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 			return
 		}
+		if s.draining.Load() {
+			s.rec.Count("serve.shed_draining", 1)
+			writeError(w, ErrDraining)
+			return
+		}
+		if s.opts.MaxInflight > 0 && s.inflight.Load() > int64(s.opts.MaxInflight) {
+			s.rec.Count("serve.shed_overload", 1)
+			writeError(w, fmt.Errorf("%w: %d requests in flight", ErrOverloaded, s.inflight.Load()))
+			return
+		}
 		var req PredictRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
 			return
 		}
-		if req.Adapter == "" {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing adapter key"})
+		if err := ValidateKey(req.Adapter); err != nil {
+			writeError(w, err)
 			return
 		}
 		if ri := requestInfoFrom(r.Context()); ri != nil {
@@ -360,9 +417,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.requestCtx(r)
 		defer cancel()
-		ans, cold, err := s.reg.Predict(ctx, req.Adapter, req.Instance.instance())
+		ans, cold, err := s.res.Predict(ctx, req.Adapter, req.Instance.instance())
 		if err != nil {
-			writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, PredictResponse{Adapter: req.Adapter, Answer: ans, Cold: cold})
@@ -373,18 +430,23 @@ func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		s.instrument("adapters", w, r, func(w *statusWriter, _ *http.Request) {
-			snap := s.reg.Snapshot()
-			writeJSON(w, http.StatusOK, AdaptersResponse{Resident: s.reg.Resident(), Adapters: snap})
+			snap := s.res.Snapshot()
+			writeJSON(w, http.StatusOK, AdaptersResponse{Resident: s.res.Resident(), Adapters: snap})
 		})
 	case http.MethodPost:
 		s.instrument("warm", w, r, func(w *statusWriter, r *http.Request) {
+			if s.draining.Load() {
+				s.rec.Count("serve.shed_draining", 1)
+				writeError(w, ErrDraining)
+				return
+			}
 			var req WarmRequest
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
 				return
 			}
-			if req.Key == "" {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing adapter key"})
+			if err := ValidateKey(req.Key); err != nil {
+				writeError(w, err)
 				return
 			}
 			if ri := requestInfoFrom(r.Context()); ri != nil {
@@ -392,9 +454,9 @@ func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
 			}
 			ctx, cancel := s.requestCtx(r)
 			defer cancel()
-			cold, err := s.reg.Warm(ctx, req.Key)
+			cold, err := s.res.Warm(ctx, req.Key)
 			if err != nil {
-				writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+				writeError(w, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, WarmResponse{Key: req.Key, Cold: cold})
@@ -409,10 +471,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		goro, heap := profile.QuickReadings()
 		writeJSON(w, http.StatusOK, HealthResponse{
 			OK:            true,
+			Draining:      s.draining.Load(),
 			UptimeS:       time.Since(s.start).Seconds(),
 			GoVersion:     runtime.Version(),
 			Revision:      s.revision,
-			Resident:      s.reg.Resident(),
+			Resident:      s.res.Resident(),
 			MaxBatch:      s.opts.MaxBatch,
 			MaxWaitS:      s.opts.MaxWait.Seconds(),
 			MaxAdapt:      s.opts.MaxAdapters,
@@ -420,5 +483,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			HeapLiveBytes: heap,
 			Sampler:       s.opts.Sampler.Status(),
 		})
+	})
+}
+
+// handleReadyz is the readiness probe: 200 only while the server is
+// accepting new work. It diverges from /healthz (pure liveness) exactly
+// when a router should stop routing here — during a drain, or when the
+// resolver itself reports unready (the cluster router with zero healthy
+// backends). 503s carry Retry-After like any other shed response.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.instrument("readyz", w, r, func(w *statusWriter, _ *http.Request) {
+		resp := ReadyResponse{OK: true, Resident: s.res.Resident()}
+		if s.draining.Load() {
+			resp.OK = false
+			resp.Draining = true
+			resp.Reason = ErrDraining.Error()
+		} else if rc, ok := s.res.(ReadyChecker); ok {
+			if err := rc.Ready(); err != nil {
+				resp.OK = false
+				resp.Reason = err.Error()
+			}
+		}
+		if !resp.OK {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 }

@@ -71,7 +71,7 @@ func TestPredictEndpoint(t *testing.T) {
 
 func TestPredictRejectsBadRequests(t *testing.T) {
 	tr := newStubTransferer(0)
-	tr.errs["gone"] = fmt.Errorf("%w: %q", ErrUnknownKey, "gone")
+	tr.errs["EM/gone"] = fmt.Errorf("%w: %q", ErrUnknownKey, "EM/gone")
 	srv, _ := newTestServer(t, tr, Options{})
 	cases := []struct {
 		name string
@@ -79,8 +79,11 @@ func TestPredictRejectsBadRequests(t *testing.T) {
 		want int
 	}{
 		{"missing key", PredictRequest{Instance: WireInstance{Candidates: []string{"a"}}}, http.StatusBadRequest},
+		{"keyless task", PredictRequest{Adapter: "EM/", Instance: WireInstance{Candidates: []string{"a"}}}, http.StatusBadRequest},
+		{"taskless key", PredictRequest{Adapter: "/Walmart", Instance: WireInstance{Candidates: []string{"a"}}}, http.StatusBadRequest},
+		{"no slash", PredictRequest{Adapter: "gone", Instance: WireInstance{Candidates: []string{"a"}}}, http.StatusBadRequest},
 		{"no candidates", PredictRequest{Adapter: "EM/A"}, http.StatusBadRequest},
-		{"unknown key", PredictRequest{Adapter: "gone", Instance: WireInstance{Candidates: []string{"a"}}}, http.StatusNotFound},
+		{"unknown key", PredictRequest{Adapter: "EM/gone", Instance: WireInstance{Candidates: []string{"a"}}}, http.StatusNotFound},
 	}
 	for _, tc := range cases {
 		resp, body := postJSON(t, srv.URL+"/v1/predict", tc.body)

@@ -38,6 +38,11 @@
 # batched forward to be >= 2x faster than the serial loop, and diffs the
 # measured ns/bytes/allocs per op against the committed BENCH_allocs.json
 # baseline via `knowtrans obs diff`.
+# A cluster gate then runs `knowtrans route -selftest`: a 3-backend fleet
+# with one backend SIGKILLed mid-load must serve every request (zero
+# non-2xx, byte-identical answers), record hedges and failovers, eject the
+# corpse, rebalance its keys, and drain the survivors clean on SIGTERM;
+# the recorded BENCH_cluster.json is diffed against the committed baseline.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -52,7 +57,8 @@ fi
 go vet ./...
 go build ./...
 go test -race ./internal/obs/... ./internal/akb/... ./internal/eval/... \
-	./internal/faults/... ./internal/resilience/... ./internal/serve/...
+	./internal/faults/... ./internal/resilience/... ./internal/serve/... \
+	./internal/cluster/...
 echo "check.sh: tier-1 gates passed"
 
 # --- tier-2: telemetry determinism gate ------------------------------------
@@ -414,4 +420,48 @@ fi
 	exit 1
 }
 echo "check.sh: tier-2 allocation gate passed (batched ${speedup}x serial)"
+
+# --- tier-2: cluster gate ----------------------------------------------------
+# The sharded serving tier's chaos drill: `route -selftest` spawns a
+# 3-backend fleet as subprocesses, drives two 256-request 64-concurrent
+# seeded load phases through two router replicas (one hedging, one
+# failover-only), SIGKILLs one backend a quarter of the way into the
+# second phase, and itself exits non-zero unless every request succeeded
+# with answers byte-identical to the direct path, hedges AND failovers
+# were recorded, the corpse was ejected by the health probes, its keys
+# were re-served by replicas, and the surviving backends drained clean
+# (exit 0) on SIGTERM. check.sh additionally pins the zero-failure
+# verdicts in the written record and diffs its latency/throughput profile
+# against the committed baseline (generous tolerance: a degraded-phase
+# profile depends on kill timing).
+"$tmp/knowtrans" route -selftest -scale 0.05 -seed 7 \
+	-selftest-requests 256 -selftest-concurrency 64 -selftest-adapters 4 \
+	-faults rate=0.3,seed=9 -bench "$tmp/cluster.json" >"$tmp/cluster.out" || {
+	echo "check.sh: route selftest failed:" >&2
+	cat "$tmp/cluster.out" >&2
+	exit 1
+}
+[ -s "$tmp/cluster.json" ] || {
+	echo "check.sh: route selftest wrote no BENCH_cluster.json" >&2
+	exit 1
+}
+for want in '"non_2xx": 0' '"mismatches": 0' '"requests": 512'; do
+	grep -q "$want" "$tmp/cluster.json" || {
+		echo "check.sh: BENCH_cluster.json lacks $want" >&2
+		cat "$tmp/cluster.json" >&2
+		exit 1
+	}
+done
+hedges=$(sed -n 's/^ *"hedges": \([0-9]*\),\{0,1\}$/\1/p' "$tmp/cluster.json")
+failovers=$(sed -n 's/^ *"failovers": \([0-9]*\),\{0,1\}$/\1/p' "$tmp/cluster.json")
+if [ -z "$hedges" ] || [ "$hedges" = 0 ] || [ -z "$failovers" ] || [ "$failovers" = 0 ]; then
+	echo "check.sh: BENCH_cluster.json records hedges='$hedges' failovers='$failovers', want both > 0" >&2
+	exit 1
+fi
+"$tmp/knowtrans" obs diff BENCH_cluster.json "$tmp/cluster.json" -rel-tol 1.0 >/dev/null || {
+	echo "check.sh: cluster gate regressed vs committed BENCH_cluster.json:" >&2
+	"$tmp/knowtrans" obs diff BENCH_cluster.json "$tmp/cluster.json" -rel-tol 1.0 >&2 || true
+	exit 1
+}
+echo "check.sh: tier-2 cluster gate passed ($hedges hedges, $failovers failovers, 0 failed requests)"
 echo "check.sh: all gates passed"
