@@ -63,6 +63,8 @@ func main() {
 		runServe(os.Args[2:])
 	case "route":
 		runRoute(os.Args[2:])
+	case "job":
+		runJob(os.Args[2:])
 	case "obs":
 		runObs(os.Args[2:])
 	default:
@@ -90,6 +92,12 @@ func usage() {
   knowtrans route -selftest [-selftest-backends N] [-selftest-requests N]
                   [-selftest-concurrency N] [-selftest-adapters N] [-scale S]
                   [-faults SPEC] [-bench BENCH_cluster.json]
+  knowtrans job [run|plan|resume] -spec FILE.{json,yaml} [-backends URL,URL]
+                [-replication N] [-checkpoint DIR] [-dry-run] [-scale S]
+                [-seed K] [-faults SPEC] [obs flags]
+  knowtrans job -selftest [-selftest-backends N] [-selftest-rows N]
+                [-selftest-shards N] [-selftest-kill-after N] [-scale S]
+                [-faults SPEC] [-bench BENCH_jobs.json] [-workdir DIR]
   knowtrans obs trace FILE.jsonl [-top N] [-json] [-trace-id ID] [-follow]
   knowtrans obs top [-url URL] [-interval D] [-n N] [-once]
   knowtrans obs diff A.json B.json [-rel-tol F] [-strict] [-json]

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/data"
 	"repro/internal/eval"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -48,6 +49,9 @@ func runRoute(args []string) {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
 		"how long SIGTERM waits for in-flight requests before the router exits anyway")
 	seed := fs.Int64("seed", 1, "seed for probe jitter (and the selftest's load)")
+	jobsDir := fs.String("jobs-dir", "",
+		"mount the bulk-job API (POST/GET /v1/jobs) with checkpoint logs in this `dir` (empty disables)")
+	maxJobs := fs.Int("max-jobs", 4, "with -jobs-dir: concurrent bulk jobs before 429")
 	selftest := fs.Bool("selftest", false, "run the fault-tolerance gate instead of routing forever")
 	stBackends := fs.Int("selftest-backends", 3, "selftest: backends to spawn")
 	stRequests := fs.Int("selftest-requests", 256, "selftest: predict requests per load phase")
@@ -130,6 +134,14 @@ func runRoute(args []string) {
 		Sampler:        of.sampler,
 		Profiles:       of.trigger,
 	})
+	if *jobsDir != "" {
+		jm := jobs.NewManager(r, jobs.ManagerOptions{
+			CheckpointDir: *jobsDir,
+			MaxActive:     *maxJobs,
+			Rec:           rec,
+		})
+		jobs.NewAPI(jm).Register(srv)
+	}
 	err = serveWithDrain(*addr, srv, *drainTimeout, func(bound net.Addr) {
 		fmt.Printf("knowtrans route on http://%s (%d backends, replication=%d, hedge=%s)\n",
 			bound, len(copts.Backends), copts.Replication, hedgeDesc(*hedgeDelay))
@@ -251,21 +263,22 @@ type backendProc struct {
 // port and parses the announced bound address. Each backend gets the same
 // (seed, scale, faults), so the fleet is deterministic: any replica
 // answers any key byte-identically — the property that makes hedged and
-// failed-over answers indistinguishable from primary ones.
-func spawnBackend(cfg routeSelftestConfig) (*backendProc, error) {
+// failed-over answers indistinguishable from primary ones. Shared by the
+// route and job selftests.
+func spawnBackend(scale float64, seed int64, maxAdapters int, faultSpec string) (*backendProc, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		exe = os.Args[0]
 	}
 	args := []string{
 		"serve", "-addr", "127.0.0.1:0",
-		"-scale", fmt.Sprintf("%g", cfg.scale),
-		"-seed", fmt.Sprintf("%d", cfg.seed),
-		"-max-adapters", fmt.Sprintf("%d", cfg.adapters+2),
+		"-scale", fmt.Sprintf("%g", scale),
+		"-seed", fmt.Sprintf("%d", seed),
+		"-max-adapters", fmt.Sprintf("%d", maxAdapters),
 		"-access-log", "",
 	}
-	if cfg.faults != "" {
-		args = append(args, "-faults", cfg.faults)
+	if faultSpec != "" {
+		args = append(args, "-faults", faultSpec)
 	}
 	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
@@ -411,7 +424,7 @@ func runRouteSelftest(cfg routeSelftestConfig) error {
 	}()
 	urls := make([]string, 0, cfg.backends)
 	for i := 0; i < cfg.backends; i++ {
-		p, err := spawnBackend(cfg)
+		p, err := spawnBackend(cfg.scale, cfg.seed, cfg.adapters+2, cfg.faults)
 		if err != nil {
 			return err
 		}

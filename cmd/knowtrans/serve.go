@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/faults"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/profile"
 	"repro/internal/serve"
@@ -48,6 +49,9 @@ func runServe(args []string) {
 	accessLog := fs.String("access-log", "-",
 		"write one JSON access-log line per request to `file` (\"-\" = stderr, empty disables)")
 	slowReq := fs.Duration("slow", time.Second, "access-log latency threshold for slow=true + Warn level")
+	jobsDir := fs.String("jobs-dir", "",
+		"mount the bulk-job API (POST/GET /v1/jobs) with checkpoint logs in this `dir` (empty disables)")
+	maxJobs := fs.Int("max-jobs", 4, "with -jobs-dir: concurrent bulk jobs before 429")
 	selftest := fs.Bool("selftest", false, "run the load-generator gate instead of serving forever")
 	stRequests := fs.Int("selftest-requests", 256, "selftest: total predict requests")
 	stConcurrency := fs.Int("selftest-concurrency", 64, "selftest: concurrent in-flight requests")
@@ -116,6 +120,14 @@ func runServe(args []string) {
 	}
 	reg := serve.NewRegistry(zooTransferer(z), opts)
 	srv := serve.NewServer(reg, opts)
+	if *jobsDir != "" {
+		jm := jobs.NewManager(reg, jobs.ManagerOptions{
+			CheckpointDir: *jobsDir,
+			MaxActive:     *maxJobs,
+			Rec:           rec,
+		})
+		jobs.NewAPI(jm).Register(srv)
+	}
 
 	if *selftest {
 		if err := runServeSelftest(z, reg, srv, selftestConfig{
@@ -146,7 +158,11 @@ func runServe(args []string) {
 		// line for the kernel-assigned port.
 		fmt.Printf("knowtrans serve on http://%s (scale=%.2f seed=%d max-adapters=%d max-batch=%d batch-wait=%s)\n",
 			bound, *scale, *seed, *maxAdapters, *maxBatch, *maxWait)
-		fmt.Printf("endpoints: POST /v1/predict  POST+GET /v1/adapters  GET /healthz /readyz /metrics /metrics.json\n")
+		endpoints := "endpoints: POST /v1/predict  POST+GET /v1/adapters  GET /healthz /readyz /metrics /metrics.json"
+		if *jobsDir != "" {
+			endpoints += "  POST+GET /v1/jobs"
+		}
+		fmt.Println(endpoints)
 		fmt.Printf("adapter keys: %d downstream datasets (GET /v1/adapters after a warm, or `knowtrans list`)\n",
 			len(z.DownstreamKeys()))
 	})

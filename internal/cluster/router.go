@@ -28,6 +28,12 @@ type Options struct {
 	// replicas, default 2, clamped to len(Backends)). Replicas are the
 	// hedging/failover targets and the takeover set when the primary dies.
 	Replication int
+	// WarmReplicas budgets how many owners one Warm call fans to, in
+	// attempt order (healthy first): enough pre-warmed replicas to survive
+	// a primary death without paying every owner's Transfer up front.
+	// Default 2, clamped to Replication; negative warms every owner (the
+	// old unbounded behavior).
+	WarmReplicas int
 	// VNodes is the virtual-node count per backend on the ring (default 64).
 	VNodes int
 	// ProbeInterval is the base period between /readyz probes per backend
@@ -69,6 +75,12 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Backends) > 0 && o.Replication > len(o.Backends) {
 		o.Replication = len(o.Backends)
+	}
+	if o.WarmReplicas == 0 {
+		o.WarmReplicas = 2
+	}
+	if o.WarmReplicas > o.Replication {
+		o.WarmReplicas = o.Replication
 	}
 	if o.VNodes <= 0 {
 		o.VNodes = 64
@@ -398,11 +410,15 @@ func trimBody(payload []byte) string {
 	return s
 }
 
-// Warm implements serve.Resolver by fanning the warm out to every owner —
-// replicas must be warm too, or the first hedge/failover after a primary
-// death pays a cold start at the worst possible moment. Cold is reported
-// if any owner was cold; the first error is returned only when no owner
-// succeeded.
+// Warm implements serve.Resolver by fanning the warm out to the key's
+// owners under the WarmReplicas budget — replicas must be warm too, or the
+// first hedge/failover after a primary death pays a cold start at the
+// worst possible moment, but warming *every* owner of a wide replication
+// factor just multiplies Transfer cost for owners that may never be
+// contacted. Candidates are attempt-ordered (healthy first), so the budget
+// lands on the backends that will actually field the traffic. Cold is
+// reported if any warmed owner was cold; the first error is returned only
+// when no owner succeeded.
 func (r *Router) Warm(ctx context.Context, key string) (bool, error) {
 	if err := serve.ValidateKey(key); err != nil {
 		return false, err
@@ -410,6 +426,9 @@ func (r *Router) Warm(ctx context.Context, key string) (bool, error) {
 	cands := r.candidates(key)
 	if len(cands) == 0 {
 		return false, fmt.Errorf("cluster: no backends own %q", key)
+	}
+	if budget := r.opts.WarmReplicas; budget > 0 && budget < len(cands) {
+		cands = cands[:budget]
 	}
 	var cold bool
 	var firstErr error
@@ -464,6 +483,76 @@ func (r *Router) warmOn(ctx context.Context, b *backendState, key string) (bool,
 		return false, fmt.Errorf("cluster: backend %s: bad response body: %w", b.url, err)
 	}
 	return wr.Cold, nil
+}
+
+var _ serve.Evicter = (*Router)(nil)
+
+// Evict implements serve.Evicter by fanning DELETE /v1/adapters/{key} to
+// every owner (no budget here: a partial eviction would leave stale
+// replicas serving a key an operator asked to drop). Evicted is true if
+// any owner dropped a resident adapter; ErrUnknownKey only when every
+// reachable owner reported the key unseen.
+func (r *Router) Evict(ctx context.Context, key string) (bool, error) {
+	if err := serve.ValidateKey(key); err != nil {
+		return false, err
+	}
+	cands := r.candidates(key)
+	if len(cands) == 0 {
+		return false, fmt.Errorf("cluster: no backends own %q", key)
+	}
+	var (
+		evicted  bool
+		ok       int
+		unknown  int
+		firstErr error
+	)
+	for _, b := range cands {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, b.url+"/v1/adapters/"+key, nil)
+		if err != nil {
+			return false, err
+		}
+		b.requests.Add(1)
+		resp, err := r.client.Do(req)
+		if err != nil {
+			r.noteFailure(b, nil)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: backend %s: %w", b.url, err)
+			}
+			continue
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode/100 == 2:
+			b.breaker.Success()
+			var er serve.EvictResponse
+			if err := json.Unmarshal(payload, &er); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cluster: backend %s: bad response body: %w", b.url, err)
+				}
+				continue
+			}
+			ok++
+			evicted = evicted || er.Evicted
+		case resp.StatusCode == http.StatusNotFound:
+			b.breaker.Success()
+			unknown++
+		default:
+			if resp.StatusCode/100 == 5 {
+				r.noteFailure(b, nil)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: backend %s: HTTP %d: %s", b.url, resp.StatusCode, trimBody(payload))
+			}
+		}
+	}
+	if ok == 0 {
+		if unknown > 0 && firstErr == nil {
+			return false, fmt.Errorf("%w: no owner has state for %q", serve.ErrUnknownKey, key)
+		}
+		return false, firstErr
+	}
+	return evicted, nil
 }
 
 // Snapshot implements serve.Resolver: the union of every healthy backend's

@@ -345,3 +345,96 @@ func TestRouterDrainEjectsViaReadyz(t *testing.T) {
 		t.Fatalf("drained backend still fielding first attempts (%d new failovers)", after-before)
 	}
 }
+
+// residentCount counts the backends on which key is resident right now.
+func residentCount(regs []*serve.Registry, key string) int {
+	n := 0
+	for _, reg := range regs {
+		for _, ks := range reg.Snapshot() {
+			if ks.Key == key && ks.Resident {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestWarmReplicasBudget is the regression test for the unbounded-warm fix:
+// Warm must fan to exactly WarmReplicas owners, not all of them, and a
+// negative budget restores the warm-everything behavior.
+func TestWarmReplicasBudget(t *testing.T) {
+	var urls []string
+	var regs []*serve.Registry
+	for i := 0; i < 4; i++ {
+		srv, reg := newBackend(t)
+		urls = append(urls, srv.URL)
+		regs = append(regs, reg)
+	}
+
+	cases := []struct {
+		name         string
+		warmReplicas int
+		want         int
+	}{
+		{"budget below replication", 2, 2},
+		{"default budget", 0, 2}, // withDefaults: 2
+		{"unbounded", -1, 3},     // every owner
+		{"budget above replication clamps", 5, 3},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := testOptions(urls)
+			opts.Replication = 3
+			opts.WarmReplicas = tc.warmReplicas
+			r := newTestRouter(t, opts)
+			key := fmt.Sprintf("EM/warm-budget-%d", i)
+			if _, err := r.Warm(context.Background(), key); err != nil {
+				t.Fatalf("Warm: %v", err)
+			}
+			if got := residentCount(regs, key); got != tc.want {
+				t.Fatalf("key resident on %d backends, want %d (WarmReplicas=%d, Replication=3)",
+					got, tc.want, tc.warmReplicas)
+			}
+		})
+	}
+}
+
+// TestRouterEvictFansToOwners: eviction through the router drops the key on
+// every owner (no budget — stale replicas must not survive), and an unknown
+// key is ErrUnknownKey.
+func TestRouterEvictFansToOwners(t *testing.T) {
+	var urls []string
+	var regs []*serve.Registry
+	for i := 0; i < 3; i++ {
+		srv, reg := newBackend(t)
+		urls = append(urls, srv.URL)
+		regs = append(regs, reg)
+	}
+	opts := testOptions(urls)
+	opts.Replication = 3
+	opts.WarmReplicas = -1 // warm all owners so the evict has work everywhere
+	r := newTestRouter(t, opts)
+
+	const key = "EM/evict-me"
+	if _, err := r.Warm(context.Background(), key); err != nil {
+		t.Fatal(err)
+	}
+	if got := residentCount(regs, key); got != 3 {
+		t.Fatalf("warm landed on %d backends, want 3", got)
+	}
+	evicted, err := r.Evict(context.Background(), key)
+	if err != nil || !evicted {
+		t.Fatalf("Evict = %v, %v; want true, nil", evicted, err)
+	}
+	if got := residentCount(regs, key); got != 0 {
+		t.Fatalf("key still resident on %d backends after evict", got)
+	}
+	// Known-but-not-resident: second evict succeeds with evicted=false.
+	evicted, err = r.Evict(context.Background(), key)
+	if err != nil || evicted {
+		t.Fatalf("re-Evict = %v, %v; want false, nil", evicted, err)
+	}
+	if _, err := r.Evict(context.Background(), "EM/never-seen"); !errors.Is(err, serve.ErrUnknownKey) {
+		t.Fatalf("Evict(unknown) = %v, want ErrUnknownKey", err)
+	}
+}

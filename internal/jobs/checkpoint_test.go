@@ -1,0 +1,113 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLog(t *testing.T, path string, recs ...*Record) {
+	t.Helper()
+	st, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := st.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	for _, rec := range recs {
+		if err := lg.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckpointMissingFile(t *testing.T) {
+	st, err := ReadLog(filepath.Join(t.TempDir(), "nope.ckpt.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plan != nil || len(st.Shards) != 0 || st.Done || st.Truncated {
+		t.Fatalf("missing file should read as empty state, got %+v", st)
+	}
+}
+
+func TestCheckpointTruncatedTail(t *testing.T) {
+	path := CheckpointPath(t.TempDir(), "jdeadbeef")
+	writeLog(t, path,
+		&Record{V: recordV, Type: recPlan, SpecHash: "abc", Rows: 8, Shards: 2, InputSHA: "def"},
+		&Record{Type: recShard, Shard: 0, Rows: 4, Answers: []string{"a", "b", "c", "d"}},
+	)
+	// A SIGKILL mid-append leaves an unterminated final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"shard","shard":1,"answers":["e","f`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := ReadLog(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if !st.Truncated {
+		t.Fatal("Truncated not reported")
+	}
+	if st.Plan == nil || st.Plan.Rows != 8 {
+		t.Fatalf("plan record lost: %+v", st.Plan)
+	}
+	if len(st.Shards) != 1 || st.Shards[0] == nil {
+		t.Fatalf("committed shard lost: %+v", st.Shards)
+	}
+	if _, ok := st.Shards[1]; ok {
+		t.Fatal("torn shard record must not count as committed")
+	}
+
+	// Reopening truncates the torn tail away; the next append lands clean.
+	lg, err := st.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Append(&Record{Type: recShard, Shard: 1, Rows: 4, Answers: []string{"e", "f", "g", "h"}}); err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+	st2, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Truncated {
+		t.Fatal("tail should be clean after truncating reopen")
+	}
+	if len(st2.Shards) != 2 || strings.Join(st2.Shards[1].Answers, "") != "efgh" {
+		t.Fatalf("recommitted shard misread: %+v", st2.Shards[1])
+	}
+}
+
+func TestCheckpointCorruptMidStream(t *testing.T) {
+	path := CheckpointPath(t.TempDir(), "jc0ffee")
+	if err := os.WriteFile(path, []byte(
+		`{"v":1,"type":"plan","rows":4,"shards":1}`+"\n"+
+			`not json at all`+"\n"+
+			`{"type":"shard","shard":0,"answers":["a"]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); err == nil {
+		t.Fatal("terminated garbage mid-stream must be a hard error, not tolerated")
+	}
+}
+
+func TestCheckpointVersionGate(t *testing.T) {
+	path := CheckpointPath(t.TempDir(), "jbadver")
+	if err := os.WriteFile(path, []byte(`{"v":99,"type":"plan","rows":4,"shards":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}

@@ -1,0 +1,253 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Job states as reported by /v1/jobs.
+const (
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// ManagerOptions configures a Manager.
+type ManagerOptions struct {
+	// CheckpointDir holds the checkpoint logs (required).
+	CheckpointDir string
+	// MaxActive bounds concurrently running jobs (default 4); submits past
+	// it are shed with serve.ErrOverloaded, which the HTTP layer maps to a
+	// retryable 429 envelope.
+	MaxActive int
+	// Rec threads observability through the engine. Nil disables it.
+	Rec *obs.Recorder
+}
+
+// Manager runs jobs asynchronously and remembers them by ID: Submit is
+// idempotent on the spec hash (re-posting a running job attaches to it;
+// re-posting a finished one reruns it, which the checkpoint log turns
+// into a no-op resume). It is the state the HTTP face exposes.
+type Manager struct {
+	eng  *Engine
+	opts ManagerOptions
+
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+// job is one tracked run.
+type job struct {
+	id      string
+	spec    *Spec
+	tracker *Tracker
+	cancel  context.CancelFunc
+	started time.Time
+
+	mu     sync.Mutex
+	state  string
+	result *Result
+	err    error
+	wallS  float64
+}
+
+// Snapshot is the externally visible state of one job — the GET
+// /v1/jobs/{id} body.
+type Snapshot struct {
+	ID            string  `json:"id"`
+	Adapter       string  `json:"adapter"`
+	State         string  `json:"state"`
+	Rows          int     `json:"rows"`
+	RowsDone      int     `json:"rows_done"`
+	Shards        int     `json:"shards"`
+	ShardsDone    int     `json:"shards_done"`
+	ShardsResumed int     `json:"shards_resumed"`
+	Retries       int64   `json:"retries"`
+	RowFailures   int64   `json:"row_failures"`
+	Output        string  `json:"output,omitempty"`
+	Error         string  `json:"error,omitempty"`
+	WallS         float64 `json:"wall_s"`
+}
+
+// NewManager returns a manager running jobs against res.
+func NewManager(res serve.Resolver, opts ManagerOptions) *Manager {
+	if opts.MaxActive == 0 {
+		opts.MaxActive = 4
+	}
+	return &Manager{
+		eng:  &Engine{Res: res, CheckpointDir: opts.CheckpointDir, Rec: opts.Rec},
+		opts: opts,
+		jobs: map[string]*job{},
+	}
+}
+
+// Submit starts (or attaches to) the job a spec describes. The returned
+// bool reports whether a new run was started; false means an already
+// running job with the same spec hash was attached instead.
+func (m *Manager) Submit(sp *Spec) (Snapshot, bool, error) {
+	id := sp.ID()
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok && j.stateNow() == StateRunning {
+		m.mu.Unlock()
+		return j.snapshot(), false, nil
+	}
+	active := 0
+	for _, j := range m.jobs {
+		if j.stateNow() == StateRunning {
+			active++
+		}
+	}
+	if active >= m.opts.MaxActive {
+		m.mu.Unlock()
+		return Snapshot{}, false, fmt.Errorf("%w: %d jobs already running (max %d)", serve.ErrOverloaded, active, m.opts.MaxActive)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:      id,
+		spec:    sp,
+		tracker: &Tracker{},
+		cancel:  cancel,
+		started: time.Now(),
+		state:   StateRunning,
+	}
+	m.jobs[id] = j
+	m.mu.Unlock()
+
+	m.opts.Rec.Count("jobs.submitted", 1)
+	m.setActiveGauge()
+	go m.run(ctx, j)
+	return j.snapshot(), true, nil
+}
+
+// run plans and executes one job, recording its terminal state.
+func (m *Manager) run(ctx context.Context, j *job) {
+	defer j.cancel()
+	res, err := func() (*Result, error) {
+		p, perr := m.eng.Plan(j.spec)
+		if perr != nil {
+			return nil, perr
+		}
+		return m.eng.Run(ctx, p, j.tracker)
+	}()
+	j.mu.Lock()
+	j.wallS = time.Since(j.started).Seconds()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+	case ctx.Err() != nil:
+		j.state = StateCanceled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	state := j.state
+	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		m.opts.Rec.Count("jobs.completed_async", 1)
+	case StateCanceled:
+		m.opts.Rec.Count("jobs.canceled", 1)
+	default:
+		m.opts.Rec.Count("jobs.failed", 1)
+	}
+	m.setActiveGauge()
+}
+
+// Get returns the snapshot of one job by ID.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns every tracked job, ordered by ID (deterministic output).
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshot())
+	}
+	m.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Cancel stops a running job (its checkpoint log keeps the committed
+// shards, so a later submit resumes it). Canceling a finished job is a
+// no-op; an unknown ID reports false.
+func (m *Manager) Cancel(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Snapshot{}, false
+	}
+	j.cancel()
+	return j.snapshot(), true
+}
+
+// setActiveGauge publishes the running-job count.
+func (m *Manager) setActiveGauge() {
+	m.mu.Lock()
+	active := 0
+	for _, j := range m.jobs {
+		if j.stateNow() == StateRunning {
+			active++
+		}
+	}
+	m.mu.Unlock()
+	m.opts.Rec.SetGauge("jobs.active", float64(active))
+}
+
+// stateNow reads the job's state under its lock.
+func (j *job) stateNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// snapshot assembles the externally visible view of the job.
+func (j *job) snapshot() Snapshot {
+	pr := j.tracker.Progress()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:            j.id,
+		Adapter:       j.spec.Adapter,
+		State:         j.state,
+		Rows:          pr.Rows,
+		RowsDone:      pr.RowsDone,
+		Shards:        pr.Shards,
+		ShardsDone:    pr.ShardsDone,
+		ShardsResumed: pr.ShardsResumed,
+		Retries:       pr.Retries,
+		RowFailures:   pr.RowFailures,
+		WallS:         j.wallS,
+	}
+	if j.state == StateRunning {
+		s.WallS = time.Since(j.started).Seconds()
+	}
+	if j.result != nil {
+		s.Output = j.result.Output
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}

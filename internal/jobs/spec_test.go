@@ -1,0 +1,132 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+const jsonSpec = `{
+  "adapter": "EM/Walmart-Amazon",
+  "input": {"path": "in.json"},
+  "output": {"path": "out.csv"}
+}`
+
+const yamlSpec = `# same job, YAML spelling
+adapter: EM/Walmart-Amazon
+input:
+  path: in.json
+output:
+  path: out.csv
+`
+
+// Same job again: keys reordered, formats and every default spelled out.
+const jsonSpecReordered = `{
+  "output": {"format": "csv", "path": "out.csv"},
+  "shards": 4,
+  "limits": {"row_timeout_s": 120, "concurrency": 8, "shard_parallelism": 2, "retries": 2},
+  "input": {"split": "test", "format": "json", "path": "in.json"},
+  "adapter": "EM/Walmart-Amazon"
+}`
+
+func TestSpecHashStable(t *testing.T) {
+	specs := map[string]string{
+		"json":           jsonSpec,
+		"yaml":           yamlSpec,
+		"json-reordered": jsonSpecReordered,
+	}
+	hashes := map[string]string{}
+	for name, blob := range specs {
+		sp, err := ParseSpec([]byte(blob))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hashes[name] = sp.Hash()
+		if got := sp.ID(); got != "j"+sp.Hash()[:16] {
+			t.Fatalf("%s: ID %q does not match hash %q", name, got, sp.Hash())
+		}
+	}
+	if hashes["json"] != hashes["yaml"] || hashes["json"] != hashes["json-reordered"] {
+		t.Fatalf("hash not stable across encodings: %v", hashes)
+	}
+
+	// A materially different spec must hash differently.
+	other, err := ParseSpec([]byte(strings.Replace(jsonSpec, `"out.csv"`, `"other.csv"`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Hash() == hashes["json"] {
+		t.Fatalf("different specs share hash %s", other.Hash())
+	}
+}
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	sp, err := ParseSpec([]byte(yamlSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Input.Format != "json" || sp.Input.Split != "test" {
+		t.Fatalf("input defaults not applied: %+v", sp.Input)
+	}
+	if sp.Output.Format != "csv" {
+		t.Fatalf("output format not defaulted: %+v", sp.Output)
+	}
+	if sp.Shards != 4 || sp.Limits.Concurrency != 8 || sp.Limits.ShardParallelism != 2 ||
+		sp.Limits.Retries != 2 || sp.Limits.RowTimeoutS != 120 {
+		t.Fatalf("defaults not applied: shards=%d limits=%+v", sp.Shards, sp.Limits)
+	}
+}
+
+func TestSpecNormalizeErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad adapter":        `{"adapter":"nope","input":{"path":"a.json"},"output":{"path":"o.csv"}}`,
+		"missing input":      `{"adapter":"EM/A","output":{"path":"o.csv"}}`,
+		"missing output":     `{"adapter":"EM/A","input":{"path":"a.json"}}`,
+		"unknown field":      `{"adapter":"EM/A","input":{"path":"a.json"},"output":{"path":"o.csv"},"bogus":1}`,
+		"split on csv":       `{"adapter":"EM/A","input":{"path":"a.csv","label":"l","split":"test"},"output":{"path":"o.csv"}}`,
+		"kind on json":       `{"adapter":"EM/A","input":{"path":"a.json","kind":"em"},"output":{"path":"o.csv"}}`,
+		"em csv sans label":  `{"adapter":"EM/A","input":{"path":"a.csv"},"output":{"path":"o.csv"}}`,
+		"bad output format":  `{"adapter":"EM/A","input":{"path":"a.json"},"output":{"path":"o.xml"}}`,
+		"negative shards":    `{"adapter":"EM/A","input":{"path":"a.json"},"output":{"path":"o.csv"},"shards":-1}`,
+		"csv kind from task": `{"adapter":"TX/A","input":{"path":"a.csv"},"output":{"path":"o.csv"}}`,
+	}
+	for name, blob := range cases {
+		if _, err := ParseSpec([]byte(blob)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestYAMLParser(t *testing.T) {
+	sp, err := ParseSpec([]byte(`
+# a fuller spelling
+adapter: "EM/Walmart-Amazon"
+input:
+  path: 'in.json'   # quoted path
+  split: train
+output:
+  path: out.jsonl
+shards: 8
+limits:
+  concurrency: 3
+  max_row_failures: 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Input.Split != "train" || sp.Input.Path != "in.json" || sp.Shards != 8 ||
+		sp.Output.Format != "jsonl" || sp.Limits.Concurrency != 3 || sp.Limits.MaxRowFailures != 2 {
+		t.Fatalf("yaml spec misparsed: %+v", sp)
+	}
+
+	bad := map[string]string{
+		"tabs":      "adapter: EM/A\n\tinput: x\n",
+		"sequence":  "adapter: EM/A\ninput:\n  - a.json\n",
+		"duplicate": "adapter: EM/A\nadapter: EM/B\n",
+		"no colon":  "adapter EM/A\n",
+	}
+	for name, blob := range bad {
+		if _, err := parseYAML([]byte(blob)); err == nil {
+			t.Errorf("%s: yaml parsed without error", name)
+		}
+	}
+}

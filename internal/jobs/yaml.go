@@ -1,0 +1,101 @@
+package jobs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseYAML parses the small YAML subset job specs need — nested maps by
+// indentation with scalar leaves (plain, single- or double-quoted strings,
+// numbers, booleans, null), comments, and blank lines — into the same
+// map[string]any shape encoding/json produces, so both formats funnel into
+// one decode path. Sequences, anchors, flow style, and multi-document
+// streams are out of scope: a spec that needs them should be JSON.
+func parseYAML(blob []byte) (map[string]any, error) {
+	root := map[string]any{}
+	type frame struct {
+		indent int
+		m      map[string]any
+	}
+	stack := []frame{{indent: -1, m: root}}
+	for ln, raw := range strings.Split(string(blob), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("jobs: yaml line %d: tabs are not allowed for indentation", ln+1)
+		}
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") || trimmed == "---" {
+			continue
+		}
+		indent := len(raw) - len(strings.TrimLeft(raw, " "))
+		if strings.HasPrefix(trimmed, "- ") || trimmed == "-" {
+			return nil, fmt.Errorf("jobs: yaml line %d: sequences are not supported (use JSON)", ln+1)
+		}
+		key, rest, ok := strings.Cut(trimmed, ":")
+		if !ok || strings.TrimSpace(key) == "" {
+			return nil, fmt.Errorf("jobs: yaml line %d: expected `key: value`, got %q", ln+1, trimmed)
+		}
+		key = strings.Trim(strings.TrimSpace(key), `"'`)
+		rest = strings.TrimSpace(rest)
+
+		for len(stack) > 1 && indent <= stack[len(stack)-1].indent {
+			stack = stack[:len(stack)-1]
+		}
+		m := stack[len(stack)-1].m
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("jobs: yaml line %d: duplicate key %q", ln+1, key)
+		}
+		if rest == "" || strings.HasPrefix(rest, "#") {
+			child := map[string]any{}
+			m[key] = child
+			stack = append(stack, frame{indent: indent, m: child})
+			continue
+		}
+		val, err := yamlScalar(rest)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: yaml line %d: %w", ln+1, err)
+		}
+		m[key] = val
+	}
+	return root, nil
+}
+
+// yamlScalar parses one scalar value, stripping a trailing comment from
+// unquoted forms.
+func yamlScalar(s string) (any, error) {
+	switch {
+	case strings.HasPrefix(s, `"`):
+		end := strings.LastIndex(s, `"`)
+		if end == 0 {
+			return nil, fmt.Errorf("unterminated double-quoted string %q", s)
+		}
+		if tail := strings.TrimSpace(s[end+1:]); tail != "" && !strings.HasPrefix(tail, "#") {
+			return nil, fmt.Errorf("trailing content after quoted string: %q", s)
+		}
+		return strconv.Unquote(s[:end+1])
+	case strings.HasPrefix(s, `'`):
+		end := strings.LastIndex(s, `'`)
+		if end == 0 {
+			return nil, fmt.Errorf("unterminated single-quoted string %q", s)
+		}
+		if tail := strings.TrimSpace(s[end+1:]); tail != "" && !strings.HasPrefix(tail, "#") {
+			return nil, fmt.Errorf("trailing content after quoted string: %q", s)
+		}
+		return strings.ReplaceAll(s[1:end], "''", "'"), nil
+	}
+	if i := strings.Index(s, " #"); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "null", "~":
+		return nil, nil
+	}
+	if n, err := strconv.ParseFloat(s, 64); err == nil {
+		return n, nil
+	}
+	return s, nil
+}

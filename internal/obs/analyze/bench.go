@@ -144,11 +144,13 @@ type DiffOptions struct {
 // DefaultLowerIsBetter are the metric-name substrings treated as
 // lower-is-better by default: the cost and latency columns of Table III,
 // plus the serve-doc failure counters and resource costs (allocations,
-// GC work, goroutines, heap) the perf sentinel gates.
+// GC work, goroutines, heap) the perf sentinel gates, and the jobs-doc
+// loss counters (row failures, duplicated transfers).
 var DefaultLowerIsBetter = []string{
 	"cost", "latency", "seconds", "time", "_us", "price", "token",
 	"alloc", "bytes", "gc_", "goroutine", "heap",
 	"non_2xx", "mismatch", "miss", "shed", "cold",
+	"fail", "duplicate",
 }
 
 func (o DiffOptions) lowerIsBetter(metric string) bool {

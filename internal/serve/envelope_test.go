@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// envResolver returns a scripted error per key, so the envelope test can
+// reach every branch of statusFor without staging real overload/timeouts.
+type envResolver struct {
+	errs map[string]error
+}
+
+func (f *envResolver) Predict(_ context.Context, key string, _ *data.Instance) (string, bool, error) {
+	if err, ok := f.errs[key]; ok {
+		return "", false, err
+	}
+	return "ok", false, nil
+}
+
+func (f *envResolver) Warm(_ context.Context, key string) (bool, error) {
+	if err, ok := f.errs[key]; ok {
+		return false, err
+	}
+	return true, nil
+}
+
+func (f *envResolver) Snapshot() []KeyStats {
+	return []KeyStats{{Key: "EM/known", Resident: true, Transfers: 1}}
+}
+
+func (f *envResolver) Resident() int { return 1 }
+
+func (f *envResolver) Evict(_ context.Context, key string) (bool, error) {
+	if key != "EM/known" {
+		return false, fmt.Errorf("%w: no adapter state for %q", ErrUnknownKey, key)
+	}
+	return true, nil
+}
+
+// TestErrorEnvelopeEverywhere asserts the API-redesign contract: every
+// error path on the /v1 surface emits the versioned JSON envelope with the
+// code and retryable flag implied by its status — no plain-text bodies.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	res := &envResolver{errs: map[string]error{
+		"EM/unknown":    fmt.Errorf("%w: %q", ErrUnknownKey, "EM/unknown"),
+		"EM/overloaded": fmt.Errorf("%w: shedding", ErrOverloaded),
+		"EM/timeout":    fmt.Errorf("transfer: %w", context.DeadlineExceeded),
+		"EM/canceled":   context.Canceled,
+		"EM/boom":       errors.New("backend exploded"),
+	}}
+	srv := httptest.NewServer(NewServer(res, Options{}))
+	defer srv.Close()
+	draining := httptest.NewServer(func() *Server {
+		s := NewServer(res, Options{})
+		s.StartDrain()
+		return s
+	}())
+	defer draining.Close()
+
+	predict := func(key string) string {
+		raw, _ := json.Marshal(PredictRequest{Adapter: key, Instance: WireInstance{Candidates: []string{"y", "n"}}})
+		return string(raw)
+	}
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		body   string
+		want   int
+	}{
+		{"predict wrong method", http.MethodGet, srv.URL + "/v1/predict", "", http.StatusMethodNotAllowed},
+		{"predict malformed body", http.MethodPost, srv.URL + "/v1/predict", "{nope", http.StatusBadRequest},
+		{"predict bad key", http.MethodPost, srv.URL + "/v1/predict", predict("no-slash"), http.StatusBadRequest},
+		{"predict no candidates", http.MethodPost, srv.URL + "/v1/predict", `{"adapter":"EM/known","instance":{}}`, http.StatusBadRequest},
+		{"predict unknown key", http.MethodPost, srv.URL + "/v1/predict", predict("EM/unknown"), http.StatusNotFound},
+		{"predict overloaded", http.MethodPost, srv.URL + "/v1/predict", predict("EM/overloaded"), http.StatusTooManyRequests},
+		{"predict timeout", http.MethodPost, srv.URL + "/v1/predict", predict("EM/timeout"), http.StatusGatewayTimeout},
+		{"predict canceled", http.MethodPost, srv.URL + "/v1/predict", predict("EM/canceled"), 499},
+		{"predict backend error", http.MethodPost, srv.URL + "/v1/predict", predict("EM/boom"), http.StatusBadGateway},
+		{"predict while draining", http.MethodPost, draining.URL + "/v1/predict", predict("EM/known"), http.StatusServiceUnavailable},
+		{"adapters wrong method", http.MethodDelete, srv.URL + "/v1/adapters", "", http.StatusMethodNotAllowed},
+		{"warm malformed body", http.MethodPost, srv.URL + "/v1/adapters", "{nope", http.StatusBadRequest},
+		{"warm bad key", http.MethodPost, srv.URL + "/v1/adapters", `{"key":"no-slash"}`, http.StatusBadRequest},
+		{"warm unknown key", http.MethodPost, srv.URL + "/v1/adapters", `{"key":"EM/unknown"}`, http.StatusNotFound},
+		{"warm while draining", http.MethodPost, draining.URL + "/v1/adapters", `{"key":"EM/known"}`, http.StatusServiceUnavailable},
+		{"adapter stats bad key", http.MethodGet, srv.URL + "/v1/adapters/no-slash", "", http.StatusBadRequest},
+		{"adapter stats unknown", http.MethodGet, srv.URL + "/v1/adapters/EM/unknown", "", http.StatusNotFound},
+		{"adapter key wrong method", http.MethodPut, srv.URL + "/v1/adapters/EM/known", "", http.StatusMethodNotAllowed},
+		{"evict bad key", http.MethodDelete, srv.URL + "/v1/adapters/no-slash", "", http.StatusBadRequest},
+		{"evict unknown", http.MethodDelete, srv.URL + "/v1/adapters/EM/unknown", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, tc.url, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d (%s), want %d", resp.StatusCode, payload, tc.want)
+			}
+			eb, ok := ParseErrorEnvelope(payload)
+			if !ok {
+				t.Fatalf("body is not the error envelope: %s", payload)
+			}
+			if eb.Code != ErrorCode(tc.want) || eb.Retryable != ErrorRetryable(tc.want) || eb.Message == "" {
+				t.Fatalf("envelope = %+v, want code=%s retryable=%v and a message",
+					eb, ErrorCode(tc.want), ErrorRetryable(tc.want))
+			}
+			if tc.want == http.StatusTooManyRequests || tc.want == http.StatusServiceUnavailable {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Fatalf("%d without Retry-After", tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestAdapterKeyRoutes exercises the REST-shaped single-key routes over a
+// real registry: stats for one key, explicit eviction (counters survive,
+// residency drops), and idempotent re-delete.
+func TestAdapterKeyRoutes(t *testing.T) {
+	srv, reg := newTestServer(t, newStubTransferer(0), Options{})
+	if _, body := postJSON(t, srv.URL+"/v1/adapters", WarmRequest{Key: "EM/A"}); reg.Resident() != 1 {
+		t.Fatalf("warm failed: %s", body)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/adapters/EM/A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ks KeyStats
+	if err := json.NewDecoder(resp.Body).Decode(&ks); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ks.Key != "EM/A" || !ks.Resident || ks.Transfers != 1 {
+		t.Fatalf("single-key stats = %+v (status %d)", ks, resp.StatusCode)
+	}
+
+	del := func() EvictResponse {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/adapters/EM/A", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("evict status %d", resp.StatusCode)
+		}
+		var er EvictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatal(err)
+		}
+		return er
+	}
+	if er := del(); !er.Evicted {
+		t.Fatalf("first evict = %+v, want evicted", er)
+	}
+	if reg.Resident() != 0 {
+		t.Fatalf("resident = %d after evict", reg.Resident())
+	}
+	// Counters survive eviction; the key is now known-but-not-resident.
+	if er := del(); er.Evicted {
+		t.Fatalf("second evict = %+v, want evicted=false", er)
+	}
+	resp, err = http.Get(srv.URL + "/v1/adapters/EM/A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ks); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ks.Resident || ks.Transfers != 1 {
+		t.Fatalf("post-evict stats = %+v, want non-resident with 1 transfer", ks)
+	}
+}

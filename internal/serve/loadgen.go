@@ -65,6 +65,11 @@ type LoadReport struct {
 	// TraceEchoMisses counts 2xx responses whose traceparent echo did not
 	// carry the trace ID the generator sent — i.e. propagation broke.
 	TraceEchoMisses int `json:"trace_echo_misses"`
+	// ErrorCodes tallies non-2xx responses by their envelope code;
+	// EnvelopeMisses counts non-2xx bodies that were NOT the versioned
+	// error envelope — any value above zero is an API-shape regression.
+	ErrorCodes     map[string]int `json:"error_codes,omitempty"`
+	EnvelopeMisses int            `json:"envelope_misses,omitempty"`
 	// SampleTrace is the trace ID of the slowest request of the run: the
 	// one to pull first with `knowtrans obs trace -trace-id`.
 	SampleTrace string  `json:"sample_trace,omitempty"`
@@ -111,9 +116,12 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 		cold       atomic.Int64
 		echoMiss   atomic.Int64
 
-		mu       sync.Mutex
-		latUs    = make([]float64, len(items))
-		firstErr string
+		envMiss atomic.Int64
+
+		mu         sync.Mutex
+		latUs      = make([]float64, len(items))
+		firstErr   string
+		errorCodes map[string]int
 	)
 	fail := func(msg string) {
 		mu.Lock()
@@ -147,7 +155,20 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 		resp.Body.Close()
 		if resp.StatusCode/100 != 2 {
 			non2xx.Add(1)
-			fail(fmt.Sprintf("request %d (%s): HTTP %d: %s", i, it.Key, resp.StatusCode, bytes.TrimSpace(payload)))
+			if eb, ok := ParseErrorEnvelope(payload); ok {
+				mu.Lock()
+				if errorCodes == nil {
+					errorCodes = map[string]int{}
+				}
+				errorCodes[eb.Code]++
+				mu.Unlock()
+				fail(fmt.Sprintf("request %d (%s): HTTP %d [%s, retryable=%v]: %s",
+					i, it.Key, resp.StatusCode, eb.Code, eb.Retryable, eb.Message))
+			} else {
+				envMiss.Add(1)
+				fail(fmt.Sprintf("request %d (%s): HTTP %d (not the error envelope): %s",
+					i, it.Key, resp.StatusCode, bytes.TrimSpace(payload)))
+			}
 			return
 		}
 		if echo, perr := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); perr != nil || echo.Trace != sent.Trace {
@@ -216,6 +237,8 @@ func RunLoad(ctx context.Context, baseURL string, items []LoadItem, opts LoadOpt
 		ColdHits:        int(cold.Load()),
 		Concurrency:     workers,
 		TraceEchoMisses: int(echoMiss.Load()),
+		ErrorCodes:      errorCodes,
+		EnvelopeMisses:  int(envMiss.Load()),
 		SampleTrace:     traceFor(slowest).Trace.String(),
 		WallS:           wall.Seconds(),
 		RPS:             float64(len(items)) / wall.Seconds(),

@@ -397,3 +397,37 @@ func (r *Registry) Resident() int {
 	defer r.mu.Unlock()
 	return len(r.ready)
 }
+
+var _ Evicter = (*Registry)(nil)
+
+// Evict drops key's resident adapter on demand (DELETE /v1/adapters/{key}).
+// The per-key counters survive, exactly as they do across LRU eviction, so
+// "one Transfer per adapter" stays provable after an explicit drop; a later
+// request for the key simply runs a fresh cold start. Reports false for a
+// key that is known but not resident, ErrUnknownKey for one never seen.
+func (r *Registry) Evict(_ context.Context, key string) (bool, error) {
+	if err := ValidateKey(key); err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	e, resident := r.ready[key]
+	_, loading := r.inflight[key]
+	_, known := r.stats[key]
+	if resident {
+		delete(r.ready, key)
+		r.rec.Count("serve.registry_eviction", 1)
+		r.rec.Count("serve.evictions_explicit", 1)
+		r.rec.SetGauge("serve.adapters", float64(len(r.ready)))
+	}
+	r.mu.Unlock()
+	if resident {
+		// Stop off the lock, as in installLocked: the batcher may need to
+		// drain queued requests first (they re-resolve), and stop retires
+		// the key's queue-depth gauge.
+		e.bat.stop()
+	}
+	if !resident && !loading && !known {
+		return false, fmt.Errorf("%w: no adapter state for %q", ErrUnknownKey, key)
+	}
+	return resident, nil
+}

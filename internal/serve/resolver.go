@@ -33,6 +33,16 @@ type ReadyChecker interface {
 	Ready() error
 }
 
+// Evicter is optionally implemented by resolvers that can drop a resident
+// adapter on demand. DELETE /v1/adapters/{key} consults it: the local
+// Registry drops the entry and retires its per-key gauges (as an LRU
+// eviction would); the cluster router fans the eviction to the key's
+// owners. Evict reports whether anything was resident; a key the resolver
+// has never seen is ErrUnknownKey.
+type Evicter interface {
+	Evict(ctx context.Context, key string) (bool, error)
+}
+
 // Sentinel errors of the serving tier beyond ErrUnknownKey (registry.go).
 // statusFor maps them: ErrBadKey → 400, ErrOverloaded → 429 (+Retry-After),
 // ErrDraining → 503 (+Retry-After).

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -22,13 +23,18 @@ import (
 // endpoints. Build one with NewServer and mount it anywhere an
 // http.Handler goes (net/http, httptest, ...).
 //
-//	POST /v1/predict   {"adapter": "EM/Walmart-Amazon", "instance": {...}}
-//	POST /v1/adapters  {"key": "EM/Walmart-Amazon"}   (warm: trigger a Transfer)
-//	GET  /v1/adapters  resolver snapshot (per-key transfers/hits/misses)
-//	GET  /healthz      liveness: process up + build/occupancy context
-//	GET  /readyz       readiness: accepting work (503 while draining/unready)
-//	GET  /metrics      Prometheus text exposition (when a metrics registry is wired)
-//	GET  /metrics.json the same snapshot as JSON
+//	POST   /v1/predict        {"adapter": "EM/Walmart-Amazon", "instance": {...}}
+//	POST   /v1/adapters       {"key": "EM/Walmart-Amazon"}   (warm: trigger a Transfer)
+//	GET    /v1/adapters       resolver snapshot (per-key transfers/hits/misses)
+//	GET    /v1/adapters/{key} single-key stats (404 envelope on unknown)
+//	DELETE /v1/adapters/{key} explicit eviction (retires per-key gauges)
+//	GET    /healthz           liveness: process up + build/occupancy context
+//	GET    /readyz            readiness: accepting work (503 while draining/unready)
+//	GET    /metrics           Prometheus text exposition (when a metrics registry is wired)
+//	GET    /metrics.json      the same snapshot as JSON
+//
+// Every error body on this surface is the versioned JSON envelope
+// (ErrorEnvelope); plain-text error responses do not exist here.
 type Server struct {
 	res      Resolver
 	opts     Options
@@ -56,6 +62,7 @@ func NewServer(res Resolver, opts Options) *Server {
 	}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/adapters", s.handleAdapters)
+	s.mux.HandleFunc("/v1/adapters/", s.handleAdapterKey)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	if opts.Rec != nil && opts.Rec.Metrics != nil {
@@ -63,17 +70,28 @@ func NewServer(res Resolver, opts Options) *Server {
 		s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", obs.PromContentType)
 			if err := obs.WritePrometheus(w, reg.Snapshot()); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+				WriteErrorStatus(w, http.StatusInternalServerError, err.Error())
 			}
 		})
 		s.mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			if err := reg.WriteJSON(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+				WriteErrorStatus(w, http.StatusInternalServerError, err.Error())
 			}
 		})
 	}
 	return s
+}
+
+// HandleFunc mounts an extra route on the server's mux under the full
+// instrumentation path (traceparent ingest/echo, request span, counters,
+// access log, pprof route label) — the seam higher tiers (internal/jobs)
+// use to extend the /v1 surface without serve importing them. route is
+// the label used on spans and per-route counters.
+func (s *Server) HandleFunc(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.instrument(route, w, r, func(sw *statusWriter, r *http.Request) { h(sw, r) })
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -169,6 +187,13 @@ type WarmResponse struct {
 	Cold bool   `json:"cold"`
 }
 
+// EvictResponse is the body of DELETE /v1/adapters/{key}. Evicted is
+// false when the key is known but nothing was resident to drop.
+type EvictResponse struct {
+	Key     string `json:"key"`
+	Evicted bool   `json:"evicted"`
+}
+
 // AdaptersResponse is the body of GET /v1/adapters.
 type AdaptersResponse struct {
 	Resident int        `json:"resident"`
@@ -232,10 +257,6 @@ func vcsRevision() string {
 	return rev + dirty
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // requestCtx applies the server's per-request deadline on top of the
 // client's context.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
@@ -267,26 +288,6 @@ func statusFor(err error) int {
 	default:
 		return http.StatusBadGateway
 	}
-}
-
-// writeError renders err with its mapped status. Shed responses (429/503)
-// carry a Retry-After so well-behaved clients and the cluster router back
-// off instead of hammering a server that said "not now".
-func writeError(w http.ResponseWriter, err error) {
-	status := statusFor(err)
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
-	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
-}
-
-// writeJSON renders one response; status is also recorded on the request
-// span and in the serve.requests/serve.errors counters by instrument.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
 }
 
 // instrument wraps one handler in the full request-scoped observability
@@ -384,26 +385,26 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.instrument("predict", w, r, func(w *statusWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+			WriteErrorStatus(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
 		if s.draining.Load() {
 			s.rec.Count("serve.shed_draining", 1)
-			writeError(w, ErrDraining)
+			WriteError(w, ErrDraining)
 			return
 		}
 		if s.opts.MaxInflight > 0 && s.inflight.Load() > int64(s.opts.MaxInflight) {
 			s.rec.Count("serve.shed_overload", 1)
-			writeError(w, fmt.Errorf("%w: %d requests in flight", ErrOverloaded, s.inflight.Load()))
+			WriteError(w, fmt.Errorf("%w: %d requests in flight", ErrOverloaded, s.inflight.Load()))
 			return
 		}
 		var req PredictRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+			WriteErrorStatus(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
 		if err := ValidateKey(req.Adapter); err != nil {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
 		if ri := requestInfoFrom(r.Context()); ri != nil {
@@ -412,41 +413,40 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if len(req.Instance.Candidates) == 0 {
 			// Prediction ranks candidate answers (DESIGN.md: open-domain tasks
 			// are realized as ranking), so an empty set is unanswerable.
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "instance needs candidate answers"})
+			WriteErrorStatus(w, http.StatusBadRequest, "instance needs candidate answers")
 			return
 		}
 		ctx, cancel := s.requestCtx(r)
 		defer cancel()
 		ans, cold, err := s.res.Predict(ctx, req.Adapter, req.Instance.instance())
 		if err != nil {
-			writeError(w, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, PredictResponse{Adapter: req.Adapter, Answer: ans, Cold: cold})
+		WriteJSON(w, http.StatusOK, PredictResponse{Adapter: req.Adapter, Answer: ans, Cold: cold})
 	})
 }
 
 func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		s.instrument("adapters", w, r, func(w *statusWriter, _ *http.Request) {
-			snap := s.res.Snapshot()
-			writeJSON(w, http.StatusOK, AdaptersResponse{Resident: s.res.Resident(), Adapters: snap})
+		s.instrument("adapters", w, r, func(w *statusWriter, r *http.Request) {
+			s.writeAdapterStats(w, r, "")
 		})
 	case http.MethodPost:
 		s.instrument("warm", w, r, func(w *statusWriter, r *http.Request) {
 			if s.draining.Load() {
 				s.rec.Count("serve.shed_draining", 1)
-				writeError(w, ErrDraining)
+				WriteError(w, ErrDraining)
 				return
 			}
 			var req WarmRequest
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+				WriteErrorStatus(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 				return
 			}
 			if err := ValidateKey(req.Key); err != nil {
-				writeError(w, err)
+				WriteError(w, err)
 				return
 			}
 			if ri := requestInfoFrom(r.Context()); ri != nil {
@@ -456,20 +456,93 @@ func (s *Server) handleAdapters(w http.ResponseWriter, r *http.Request) {
 			defer cancel()
 			cold, err := s.res.Warm(ctx, req.Key)
 			if err != nil {
-				writeError(w, err)
+				WriteError(w, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, WarmResponse{Key: req.Key, Cold: cold})
+			WriteJSON(w, http.StatusOK, WarmResponse{Key: req.Key, Cold: cold})
 		})
 	default:
-		writeJSON(&statusWriter{ResponseWriter: w}, http.StatusMethodNotAllowed, errorResponse{Error: "GET or POST only"})
+		WriteErrorStatus(&statusWriter{ResponseWriter: w}, http.StatusMethodNotAllowed, "GET, POST, or DELETE /v1/adapters/{key} only")
 	}
+}
+
+// handleAdapterKey serves the REST-shaped single-key routes under
+// /v1/adapters/{key} (the key itself contains a slash: task/dataset).
+// They share their implementations with the legacy collection routes:
+// GET funnels into the same stats writer with a key filter, DELETE is
+// explicit eviction through the resolver's optional Evicter.
+func (s *Server) handleAdapterKey(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/adapters/")
+	switch r.Method {
+	case http.MethodGet:
+		s.instrument("adapters", w, r, func(w *statusWriter, r *http.Request) {
+			s.writeAdapterStats(w, r, key)
+		})
+	case http.MethodDelete:
+		s.instrument("evict", w, r, func(w *statusWriter, r *http.Request) {
+			s.evictAdapter(w, r, key)
+		})
+	default:
+		WriteErrorStatus(&statusWriter{ResponseWriter: w}, http.StatusMethodNotAllowed, "GET or DELETE only")
+	}
+}
+
+// writeAdapterStats renders resolver stats: the full snapshot when key is
+// empty (GET /v1/adapters), or one key's entry with a 404 envelope when
+// the resolver has never seen it (GET /v1/adapters/{key}).
+func (s *Server) writeAdapterStats(w *statusWriter, r *http.Request, key string) {
+	if key == "" {
+		WriteJSON(w, http.StatusOK, AdaptersResponse{Resident: s.res.Resident(), Adapters: s.res.Snapshot()})
+		return
+	}
+	if err := ValidateKey(key); err != nil {
+		WriteError(w, err)
+		return
+	}
+	if ri := requestInfoFrom(r.Context()); ri != nil {
+		ri.key = key
+	}
+	for _, ks := range s.res.Snapshot() {
+		if ks.Key == key {
+			WriteJSON(w, http.StatusOK, ks)
+			return
+		}
+	}
+	WriteError(w, fmt.Errorf("%w: no stats for %q", ErrUnknownKey, key))
+}
+
+// evictAdapter serves DELETE /v1/adapters/{key}: drop the resident adapter
+// (retiring its per-key gauges, exactly like an LRU eviction) without
+// touching its request counters. A key the resolver has never seen is a
+// 404; a known key that simply is not resident right now evicts nothing
+// and reports evicted=false.
+func (s *Server) evictAdapter(w *statusWriter, r *http.Request, key string) {
+	if err := ValidateKey(key); err != nil {
+		WriteError(w, err)
+		return
+	}
+	if ri := requestInfoFrom(r.Context()); ri != nil {
+		ri.key = key
+	}
+	ev, ok := s.res.(Evicter)
+	if !ok {
+		WriteErrorStatus(w, http.StatusNotImplemented, "resolver does not support eviction")
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	evicted, err := ev.Evict(ctx, key)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, EvictResponse{Key: key, Evicted: evicted})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.instrument("healthz", w, r, func(w *statusWriter, _ *http.Request) {
 		goro, heap := profile.QuickReadings()
-		writeJSON(w, http.StatusOK, HealthResponse{
+		WriteJSON(w, http.StatusOK, HealthResponse{
 			OK:            true,
 			Draining:      s.draining.Load(),
 			UptimeS:       time.Since(s.start).Seconds(),
@@ -506,9 +579,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 		if !resp.OK {
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, resp)
+			WriteJSON(w, http.StatusServiceUnavailable, resp)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		WriteJSON(w, http.StatusOK, resp)
 	})
 }

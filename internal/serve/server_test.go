@@ -90,9 +90,9 @@ func TestPredictRejectsBadRequests(t *testing.T) {
 		if resp.StatusCode != tc.want {
 			t.Fatalf("%s: status %d (%s), want %d", tc.name, resp.StatusCode, body, tc.want)
 		}
-		var er errorResponse
-		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
-			t.Fatalf("%s: error body %q", tc.name, body)
+		eb, ok := ParseErrorEnvelope(body)
+		if !ok || eb.Message == "" || eb.Code != ErrorCode(tc.want) {
+			t.Fatalf("%s: error body %q, want envelope with code %s", tc.name, body, ErrorCode(tc.want))
 		}
 	}
 	// Malformed JSON.

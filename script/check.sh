@@ -43,6 +43,14 @@
 # non-2xx, byte-identical answers), record hedges and failovers, eject the
 # corpse, rebalance its keys, and drain the survivors clean on SIGTERM;
 # the recorded BENCH_cluster.json is diffed against the committed baseline.
+# Finally a jobs gate runs `knowtrans job -selftest` under a 30% seeded
+# fault rate: dry-run planning must be byte-deterministic, a multi-shard
+# bulk job SIGKILLed mid-flight must resume from its checkpoint log with
+# zero duplicated Transfers and produce output byte-identical to an
+# uninterrupted same-seed run, a torn checkpoint tail must be tolerated,
+# every /v1/* error body must be the canonical error envelope (also
+# enforced statically: no raw http.Error in the serving packages), and the
+# recorded BENCH_jobs.json is diffed against the committed baseline.
 # Run from anywhere inside the repo; exits non-zero on first failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -58,7 +66,7 @@ go vet ./...
 go build ./...
 go test -race ./internal/obs/... ./internal/akb/... ./internal/eval/... \
 	./internal/faults/... ./internal/resilience/... ./internal/serve/... \
-	./internal/cluster/...
+	./internal/cluster/... ./internal/jobs/...
 echo "check.sh: tier-1 gates passed"
 
 # --- tier-2: telemetry determinism gate ------------------------------------
@@ -464,4 +472,65 @@ fi
 	exit 1
 }
 echo "check.sh: tier-2 cluster gate passed ($hedges hedges, $failovers failovers, 0 failed requests)"
+
+# --- tier-2: jobs gate -------------------------------------------------------
+# The bulk tier's crash-recovery drill: `job -selftest` spawns a 2-backend
+# fleet, runs a 64-row 8-shard job uninterrupted, runs the same rows as a
+# subprocess that SIGKILLs itself after 2 fsynced shard commits, tears the
+# checkpoint tail the way a second mid-append kill would, resumes, and
+# itself exits non-zero unless the resumed output is byte-identical to the
+# uninterrupted run with zero duplicated Transfers anywhere in the fleet,
+# zero lost rows (retries absorb the 30% fault rate), and a canonical
+# error envelope on the probe. check.sh pins those verdicts in the written
+# record — the 0/1 verdict fields sit inside obs diff's tolerance, so a
+# flip to 0 must fail here, not there — and re-plans the kept spec twice
+# to pin dry-run determinism from the CLI surface.
+"$tmp/knowtrans" job -selftest -scale 0.05 -seed 7 \
+	-faults rate=0.3,seed=9 -bench "$tmp/jobs.json" \
+	-workdir "$tmp/jobswork" >"$tmp/jobs.out" || {
+	echo "check.sh: job selftest failed:" >&2
+	cat "$tmp/jobs.out" >&2
+	exit 1
+}
+grep -q 'error envelope ok' "$tmp/jobs.out" || {
+	echo "check.sh: job selftest never probed the error envelope" >&2
+	exit 1
+}
+[ -s "$tmp/jobs.json" ] || {
+	echo "check.sh: job selftest wrote no BENCH_jobs.json" >&2
+	exit 1
+}
+for want in '"byte_identical": 1' '"plan_deterministic": 1' \
+	'"duplicate_transfers": 0' '"row_failures": 0' \
+	'"truncated_tail_recovered": 1'; do
+	grep -q "$want" "$tmp/jobs.json" || {
+		echo "check.sh: BENCH_jobs.json lacks $want" >&2
+		cat "$tmp/jobs.json" >&2
+		exit 1
+	}
+done
+
+# Dry-run determinism from the CLI: the same spec must render the same
+# plan bytes on every invocation (no timestamps, no map ordering).
+"$tmp/knowtrans" job plan -spec "$tmp/jobswork/specA.json" >"$tmp/plan1.out"
+"$tmp/knowtrans" job plan -spec "$tmp/jobswork/specA.json" >"$tmp/plan2.out"
+cmp -s "$tmp/plan1.out" "$tmp/plan2.out" || {
+	echo "check.sh: job plan rendered different bytes across invocations:" >&2
+	diff "$tmp/plan1.out" "$tmp/plan2.out" >&2 || true
+	exit 1
+}
+
+# Envelope enforcement, statically: the serving packages must route every
+# HTTP error through the envelope writer, never raw http.Error.
+if grep -rn 'http\.Error(' internal/serve internal/cluster internal/jobs; then
+	echo "check.sh: raw http.Error in a serving package — use serve.WriteError" >&2
+	exit 1
+fi
+
+"$tmp/knowtrans" obs diff BENCH_jobs.json "$tmp/jobs.json" -rel-tol 1.0 >/dev/null || {
+	echo "check.sh: jobs gate regressed vs committed BENCH_jobs.json:" >&2
+	"$tmp/knowtrans" obs diff BENCH_jobs.json "$tmp/jobs.json" -rel-tol 1.0 >&2 || true
+	exit 1
+}
+echo "check.sh: tier-2 jobs gate passed (kill/resume byte-identical, 0 duplicated transfers)"
 echo "check.sh: all gates passed"
